@@ -1,0 +1,25 @@
+.PHONY: install test bench experiments examples clean
+
+PYTHON ?= python
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PYTHON) -m repro.experiments.runall
+
+experiments-paper:
+	$(PYTHON) -m repro.experiments.runall --paper
+
+examples:
+	@for f in examples/*.py; do echo "== $$f =="; $(PYTHON) $$f; echo; done
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

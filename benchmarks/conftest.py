@@ -1,0 +1,45 @@
+"""Shared fixtures and helpers for the benchmark suite.
+
+Each ``test_bench_figNN`` benchmark runs the real experiment pipeline for
+that figure (with reduced Monte-Carlo repetitions so the suite stays
+fast), asserts the paper's qualitative shape on the measured output, and
+reports the wall-clock cost via pytest-benchmark.  Algorithm-level
+microbenchmarks measure single placement/scheduling calls.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+def series(result, algorithm: str, column: str):
+    """Extract one algorithm's series from an ExperimentResult."""
+    return [
+        float(row[column])
+        for row in result.rows
+        if row["algorithm"] == algorithm
+    ]
+
+
+def mean_of(result, algorithm: str, column: str) -> float:
+    """Sweep-mean of one algorithm's metric."""
+    return float(np.mean(series(result, algorithm, column)))
+
+
+@pytest.fixture
+def bench_placement_problem():
+    """A paper-scale placement instance (15 VNFs, 10 nodes)."""
+    from repro.workload.scenarios import PlacementScenario
+
+    return PlacementScenario(num_vnfs=15, num_nodes=10, seed=7).build(0)
+
+
+@pytest.fixture
+def bench_scheduling_problem():
+    """A paper-scale scheduling instance (100 requests, 5 instances)."""
+    from repro.workload.scenarios import SchedulingScenario
+
+    return SchedulingScenario(
+        num_requests=100, num_instances=5, seed=7
+    ).build(0)

@@ -1,0 +1,51 @@
+"""Ablation: chain-affinity weighting in BFDSU (beyond-paper extension).
+
+Measures what the affinity boost buys on the coordinated objective: the
+fraction of chain hops that cross nodes (each costing ``L`` in Eq. 16),
+at what consolidation cost.
+"""
+
+import numpy as np
+
+from repro.placement.bfdsu import BFDSUPlacement
+from repro.placement.chain_affinity import ChainAffinityBFDSU
+from repro.workload.scenarios import PlacementScenario
+
+REPS = 15
+
+
+def _cross_node_hop_fraction(algo_factory, reps=REPS):
+    scenario = PlacementScenario(num_vnfs=15, num_nodes=10, seed=41)
+    crossing = 0
+    total = 0
+    nodes_used = []
+    for rep in range(reps):
+        problem = scenario.build(rep)
+        result = algo_factory(rep).place(problem)
+        nodes_used.append(result.num_used_nodes)
+        for chain in problem.chains:
+            for a, b in chain.hops():
+                total += 1
+                if result.placement[a] != result.placement[b]:
+                    crossing += 1
+    return crossing / max(1, total), float(np.mean(nodes_used))
+
+
+def test_bench_ablation_chain_affinity(benchmark):
+    affinity_frac, affinity_nodes = benchmark.pedantic(
+        _cross_node_hop_fraction,
+        args=(
+            lambda rep: ChainAffinityBFDSU(
+                rng=np.random.default_rng(rep), affinity_boost=8.0
+            ),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    plain_frac, plain_nodes = _cross_node_hop_fraction(
+        lambda rep: BFDSUPlacement(rng=np.random.default_rng(rep))
+    )
+    # Affinity never increases cross-node hops ...
+    assert affinity_frac <= plain_frac + 0.02
+    # ... and costs at most one extra node of consolidation on average.
+    assert affinity_nodes <= plain_nodes + 1.0

@@ -1,0 +1,42 @@
+"""Ablation: RCKK's reverse-order combine (abl-reverse in DESIGN.md).
+
+Quantifies how much of RCKK's balance quality comes specifically from
+pairing each partition's largest way with the other's smallest way, by
+comparing against the deliberately weakened forward-combine variant and
+against plain greedy.
+"""
+
+import numpy as np
+
+from repro.partition.greedy import greedy_partition
+from repro.partition.rckk import forward_ckk_partition, rckk_partition
+
+REPS = 200
+
+
+def _mean_spread(algo, reps=REPS, n=30, m=5, seed=13):
+    rng = np.random.default_rng(seed)
+    spreads = []
+    for _ in range(reps):
+        values = list(rng.uniform(1.0, 100.0, size=n))
+        spreads.append(algo(values, m).spread)
+    return float(np.mean(spreads))
+
+
+def test_bench_ablation_reverse_combine(benchmark):
+    reverse = benchmark.pedantic(
+        _mean_spread, args=(rckk_partition,), rounds=1, iterations=1
+    )
+    forward = _mean_spread(forward_ckk_partition)
+    # The reverse alignment is the load-bearing design choice: forward
+    # combining is dramatically less balanced.
+    assert reverse < forward / 2.0
+
+
+def test_bench_ablation_rckk_vs_greedy(benchmark):
+    rckk = benchmark.pedantic(
+        _mean_spread, args=(rckk_partition,), rounds=1, iterations=1
+    )
+    greedy = _mean_spread(greedy_partition)
+    # Differencing beats LPT on balance at equal asymptotic cost.
+    assert rckk <= greedy

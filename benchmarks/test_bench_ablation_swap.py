@@ -1,0 +1,50 @@
+"""Ablation: move/swap refinement on top of RCKK.
+
+Measures how much residual makespan the local search recovers from
+RCKK's one-pass differencing, and confirms the refined schedule closes
+most of the gap to the two-way optimum (where CKK provides it).
+"""
+
+import numpy as np
+
+from repro.scheduling.ckk import CKKScheduler
+from repro.scheduling.rckk import RCKKScheduler
+from repro.scheduling.swap_refine import SwapRefinedScheduler
+from repro.workload.scenarios import SchedulingScenario
+
+REPS = 60
+
+
+def _mean_makespan(scheduler, m, reps=REPS):
+    scenario = SchedulingScenario(
+        num_requests=24, num_instances=m, rho=0.9, seed=53
+    )
+    peaks = []
+    for rep in range(reps):
+        problem = scenario.build(rep)
+        peaks.append(max(scheduler.schedule(problem).instance_rates()))
+    return float(np.mean(peaks))
+
+
+def test_bench_ablation_swap_refinement(benchmark):
+    refined = benchmark.pedantic(
+        _mean_makespan,
+        args=(SwapRefinedScheduler(), 5),
+        rounds=1,
+        iterations=1,
+    )
+    plain = _mean_makespan(RCKKScheduler(), 5)
+    # Refinement never hurts and typically trims the residual peak.
+    assert refined <= plain + 1e-9
+
+
+def test_bench_ablation_swap_vs_optimal_two_way(benchmark):
+    refined = benchmark.pedantic(
+        _mean_makespan,
+        args=(SwapRefinedScheduler(), 2),
+        rounds=1,
+        iterations=1,
+    )
+    optimal = _mean_makespan(CKKScheduler(), 2)
+    # Within half a percent of the (near-)optimal two-way makespan.
+    assert refined <= optimal * 1.005

@@ -1,0 +1,60 @@
+"""Microbenchmarks: single placement / scheduling calls.
+
+These measure the raw algorithm cost the paper's Section IV-D analyses:
+BFDSU O(m(log m + n log n)), RCKK O(n m log m), and the baselines.
+"""
+
+import numpy as np
+import pytest
+
+from repro.placement.bfd import BFDPlacement
+from repro.placement.bfdsu import BFDSUPlacement
+from repro.placement.ffd import FFDPlacement
+from repro.placement.nah import NAHPlacement
+from repro.scheduling.cga import CGAScheduler
+from repro.scheduling.least_loaded import LeastLoadedScheduler
+from repro.scheduling.rckk import RCKKScheduler
+
+
+@pytest.mark.parametrize(
+    "algo_factory",
+    [
+        lambda: BFDSUPlacement(rng=np.random.default_rng(0)),
+        lambda: FFDPlacement(),
+        lambda: NAHPlacement(),
+        lambda: BFDPlacement(),
+    ],
+    ids=["BFDSU", "FFD", "NAH", "BFD"],
+)
+def test_bench_placement_call(benchmark, algo_factory, bench_placement_problem):
+    algo = algo_factory()
+    result = benchmark(algo.place, bench_placement_problem)
+    result.validate()
+
+
+@pytest.mark.parametrize(
+    "algo_factory",
+    [
+        lambda: RCKKScheduler(),
+        lambda: CGAScheduler(),
+        lambda: LeastLoadedScheduler(),
+    ],
+    ids=["RCKK", "CGA", "LeastLoaded"],
+)
+def test_bench_scheduling_call(
+    benchmark, algo_factory, bench_scheduling_problem
+):
+    algo = algo_factory()
+    result = benchmark(algo.schedule, bench_scheduling_problem)
+    result.validate()
+
+
+def test_bench_rckk_scales_near_linear(benchmark):
+    """RCKK at n=400, m=10 — the complexity claim's large end."""
+    from repro.workload.scenarios import SchedulingScenario
+
+    problem = SchedulingScenario(
+        num_requests=400, num_instances=10, seed=3
+    ).build(0)
+    result = benchmark(RCKKScheduler().schedule, problem)
+    result.validate()

@@ -1,0 +1,20 @@
+"""Benchmark + shape check for Fig. 5 (utilization vs #requests)."""
+
+from conftest import mean_of
+
+from repro.experiments import fig05
+
+REPS = 5
+
+
+def test_bench_fig05(benchmark):
+    result = benchmark.pedantic(
+        fig05.run, kwargs={"repetitions": REPS}, rounds=1, iterations=1
+    )
+    bfdsu = mean_of(result, "BFDSU", "utilization")
+    ffd = mean_of(result, "FFD", "utilization")
+    nah = mean_of(result, "NAH", "utilization")
+    # Paper shape: BFDSU ~0.92 far above FFD ~0.69 and NAH ~0.67.
+    assert bfdsu > 0.8
+    assert bfdsu > ffd + 0.15
+    assert bfdsu > nah + 0.15

@@ -1,0 +1,19 @@
+"""Benchmark + shape check for Fig. 6 (utilization vs #VNFs)."""
+
+from conftest import mean_of
+
+from repro.experiments import fig06
+
+REPS = 5
+
+
+def test_bench_fig06(benchmark):
+    result = benchmark.pedantic(
+        fig06.run, kwargs={"repetitions": REPS}, rounds=1, iterations=1
+    )
+    bfdsu = mean_of(result, "BFDSU", "utilization")
+    ffd = mean_of(result, "FFD", "utilization")
+    nah = mean_of(result, "NAH", "utilization")
+    # Paper: +31.61% vs FFD and +33.41% vs NAH on average.
+    assert (bfdsu - ffd) / ffd > 0.2
+    assert (bfdsu - nah) / nah > 0.2

@@ -1,0 +1,20 @@
+"""Benchmark + shape check for Fig. 7 (utilization vs #nodes)."""
+
+from conftest import series
+
+from repro.experiments import fig07
+
+REPS = 5
+
+
+def test_bench_fig07(benchmark):
+    result = benchmark.pedantic(
+        fig07.run, kwargs={"repetitions": REPS}, rounds=1, iterations=1
+    )
+    bfdsu = series(result, "BFDSU", "utilization")
+    ffd = series(result, "FFD", "utilization")
+    nah = series(result, "NAH", "utilization")
+    # Paper: BFDSU stable; FFD and NAH decay as the pool grows.
+    assert max(bfdsu) - min(bfdsu) < 0.1
+    assert ffd[0] - ffd[-1] > 0.15
+    assert nah[0] - nah[-1] > 0.15

@@ -1,0 +1,18 @@
+"""Benchmark + shape check for Fig. 8 (nodes in service vs #nodes)."""
+
+from conftest import mean_of
+
+from repro.experiments import fig08
+
+REPS = 5
+
+
+def test_bench_fig08(benchmark):
+    result = benchmark.pedantic(
+        fig08.run, kwargs={"repetitions": REPS}, rounds=1, iterations=1
+    )
+    bfdsu = mean_of(result, "BFDSU", "nodes_in_service")
+    nah = mean_of(result, "NAH", "nodes_in_service")
+    ffd = mean_of(result, "FFD", "nodes_in_service")
+    # Paper ordering: BFDSU 8.56 < NAH 10.55 < FFD 10.80.
+    assert bfdsu < nah < ffd

@@ -1,0 +1,21 @@
+"""Benchmark + shape check for Fig. 9 (resource occupation vs #nodes)."""
+
+from conftest import series
+
+from repro.experiments import fig09
+
+REPS = 5
+
+
+def test_bench_fig09(benchmark):
+    result = benchmark.pedantic(
+        fig09.run, kwargs={"repetitions": REPS}, rounds=1, iterations=1
+    )
+    bfdsu = series(result, "BFDSU", "occupation")
+    ffd = series(result, "FFD", "occupation")
+    nah = series(result, "NAH", "occupation")
+    # Paper: BFDSU stably low; FFD and NAH grow with the pool.
+    assert max(bfdsu) < 1.6 * min(bfdsu)
+    assert ffd[-1] > ffd[0]
+    assert nah[-1] > nah[0]
+    assert ffd[-1] > 1.5 * bfdsu[-1]

@@ -1,0 +1,19 @@
+"""Benchmark + shape check for Fig. 10 (iterations vs #requests)."""
+
+from conftest import mean_of
+
+from repro.experiments import fig10
+
+REPS = 5
+
+
+def test_bench_fig10(benchmark):
+    result = benchmark.pedantic(
+        fig10.run, kwargs={"repetitions": REPS}, rounds=1, iterations=1
+    )
+    ffd = mean_of(result, "FFD", "iterations")
+    bfdsu = mean_of(result, "BFDSU", "iterations")
+    nah = mean_of(result, "NAH", "iterations")
+    # Paper ordering: FFD 1 << BFDSU ~11 < NAH ~32.
+    assert ffd == 1.0
+    assert ffd < bfdsu < nah

@@ -1,0 +1,24 @@
+"""Benchmark + shape check for Fig. 11 (response time vs #requests, P=0.98)."""
+
+from repro.experiments import fig11
+
+REPS = 40
+
+
+def _enhancements(result):
+    return [
+        float(row["enhancement"])
+        for row in result.rows
+        if row["algorithm"] == "RCKK"
+    ]
+
+
+def test_bench_fig11(benchmark):
+    result = benchmark.pedantic(
+        fig11.run, kwargs={"repetitions": REPS}, rounds=1, iterations=1
+    )
+    enh = _enhancements(result)
+    # Paper: enhancement declines 41.89% -> 2.10% as requests grow.
+    assert enh[0] > 0.15
+    assert enh[-1] < 0.05
+    assert enh[0] > enh[-1]

@@ -1,0 +1,19 @@
+"""Benchmark + shape check for Fig. 12 (response time vs #requests, P=1.00)."""
+
+from repro.experiments import fig12
+
+REPS = 40
+
+
+def test_bench_fig12(benchmark):
+    result = benchmark.pedantic(
+        fig12.run, kwargs={"repetitions": REPS}, rounds=1, iterations=1
+    )
+    enh = [
+        float(row["enhancement"])
+        for row in result.rows
+        if row["algorithm"] == "RCKK"
+    ]
+    # Paper: enhancement declines 33.49% -> 1.17%.
+    assert enh[0] > 0.15
+    assert enh[-1] < 0.05

@@ -1,0 +1,19 @@
+"""Benchmark + shape check for Fig. 13 (response time vs #instances, P=0.98)."""
+
+from repro.experiments import fig13
+
+REPS = 40
+
+
+def test_bench_fig13(benchmark):
+    result = benchmark.pedantic(
+        fig13.run, kwargs={"repetitions": REPS}, rounds=1, iterations=1
+    )
+    enh = [
+        float(row["enhancement"])
+        for row in result.rows
+        if row["algorithm"] == "RCKK"
+    ]
+    # Paper: advantage widens 5.24% -> 25.05% as instances grow.
+    assert enh[-1] > enh[0]
+    assert enh[-1] > 0.1

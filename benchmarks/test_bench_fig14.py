@@ -1,0 +1,19 @@
+"""Benchmark + shape check for Fig. 14 (response time vs #instances, P=1.00)."""
+
+from repro.experiments import fig14
+
+REPS = 40
+
+
+def test_bench_fig14(benchmark):
+    result = benchmark.pedantic(
+        fig14.run, kwargs={"repetitions": REPS}, rounds=1, iterations=1
+    )
+    enh = [
+        float(row["enhancement"])
+        for row in result.rows
+        if row["algorithm"] == "RCKK"
+    ]
+    # Paper: advantage widens 3.16% -> 18.53% as instances grow.
+    assert enh[-1] > enh[0]
+    assert enh[-1] > 0.08

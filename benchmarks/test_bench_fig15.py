@@ -1,0 +1,19 @@
+"""Benchmark + shape check for Fig. 15 (job rejection, P=0.997)."""
+
+import numpy as np
+from conftest import series
+
+from repro.experiments import fig15
+
+REPS = 40
+
+
+def test_bench_fig15(benchmark):
+    result = benchmark.pedantic(
+        fig15.run, kwargs={"repetitions": REPS}, rounds=1, iterations=1
+    )
+    rckk = series(result, "RCKK", "rejection_rate")
+    cga = series(result, "CGA", "rejection_rate")
+    # Paper: RCKK near zero throughout; CGA positive.
+    assert max(rckk) < 0.01
+    assert np.mean(cga) > 0.005

@@ -1,0 +1,30 @@
+"""Benchmark + check for the abstract's headline claims."""
+
+from repro.experiments import headline
+
+PLACEMENT_REPS = 5
+SCHED_REPS = 40
+
+
+def _value(result, metric):
+    for row in result.rows:
+        if row["metric"] == metric:
+            return float(row["value"])
+    raise KeyError(metric)
+
+
+def test_bench_headline(benchmark):
+    result = benchmark.pedantic(
+        headline.run,
+        kwargs={
+            "placement_repetitions": PLACEMENT_REPS,
+            "scheduling_repetitions": SCHED_REPS,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    # Paper: +31.61% / +33.41% utilization, -19.9% latency.  We require
+    # the same direction and at least half the paper's magnitude.
+    assert _value(result, "utilization gain vs FFD") > 0.15
+    assert _value(result, "utilization gain vs NAH") > 0.15
+    assert _value(result, "avg latency reduction (RCKK vs CGA)") > 0.05

@@ -1,0 +1,27 @@
+"""Benchmark + shape check for the joint end-to-end pipeline comparison."""
+
+from repro.experiments import joint_e2e
+
+REPS = 5
+
+
+def _row(result, pipeline):
+    for row in result.rows:
+        if row["pipeline"] == pipeline:
+            return row
+    raise KeyError(pipeline)
+
+
+def test_bench_joint_e2e(benchmark):
+    result = benchmark.pedantic(
+        joint_e2e.run, kwargs={"repetitions": REPS}, rounds=1, iterations=1
+    )
+    ours = _row(result, "BFDSU+RCKK")
+    ffd = _row(result, "FFD+CGA")
+    nah = _row(result, "NAH+CGA")
+    # The joint system wins on every coordinated metric (Eq. 16):
+    assert ours["utilization"] > ffd["utilization"]
+    assert ours["utilization"] > nah["utilization"]
+    assert ours["nodes"] < ffd["nodes"]
+    assert ours["avg_total_latency"] < ffd["avg_total_latency"]
+    assert ours["avg_total_latency"] < nah["avg_total_latency"]

@@ -1,0 +1,28 @@
+"""Benchmark + shape check for the model-sensitivity experiment."""
+
+from repro.experiments import sensitivity
+
+
+def test_bench_sensitivity(benchmark):
+    result = benchmark.pedantic(
+        sensitivity.run, kwargs={"horizon": 800.0}, rounds=1, iterations=1
+    )
+    service = {
+        float(r["value"]): float(r["model_error"])
+        for r in result.rows
+        if r["dimension"] == "service_cv2"
+    }
+    burst = {
+        float(r["value"]): float(r["model_error"])
+        for r in result.rows
+        if r["dimension"] == "burst_ratio"
+    }
+    # Exponential service: no error by construction.
+    assert abs(service[1.0]) < 1e-9
+    # Deterministic service: M/M/1 over-estimates; heavy-tailed: under.
+    assert service[0.0] > 0.3
+    assert service[4.0] < -0.3
+    # Poisson arrivals: small simulation error only.
+    assert abs(burst[1.0]) < 0.2
+    # Burstiness makes the model increasingly optimistic.
+    assert burst[8.0] < burst[2.0] < 0.0

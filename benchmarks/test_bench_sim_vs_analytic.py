@@ -1,0 +1,46 @@
+"""Ablation: the analytic Jackson model vs the discrete-event simulator.
+
+abl-jackson in DESIGN.md: the closed forms the optimizer relies on must
+match independently measured packet-level behaviour.  The benchmark
+times a full simulation run; the assertions bound the model error.
+"""
+
+import pytest
+
+from repro.nfv.chain import ServiceChain
+from repro.nfv.request import Request
+from repro.nfv.vnf import VNF
+from repro.queueing.jackson import ChainFeedbackModel
+from repro.sim.simulator import ChainSimulator, SimulationConfig
+
+RATE = 30.0
+MUS = (90.0, 70.0)
+P = 0.95
+
+
+def _run_simulation():
+    vnfs = [VNF(f"v{i}", 1.0, 1, mu) for i, mu in enumerate(MUS)]
+    chain = ServiceChain([f.name for f in vnfs])
+    request = Request("r0", chain, RATE, delivery_probability=P)
+    schedule = {("r0", f.name): 0 for f in vnfs}
+    simulator = ChainSimulator(
+        vnfs,
+        [request],
+        schedule,
+        SimulationConfig(duration=1500.0, warmup=150.0, seed=17),
+    )
+    return simulator.run()
+
+
+def test_bench_sim_vs_analytic(benchmark):
+    metrics = benchmark.pedantic(_run_simulation, rounds=1, iterations=1)
+    model = ChainFeedbackModel(
+        external_rate=RATE, service_rates=MUS, delivery_probability=P
+    )
+    measured = metrics.mean_end_to_end()
+    analytic = model.total_response_time()
+    assert measured == pytest.approx(analytic, rel=0.15)
+    # Per-station utilization matches lambda / (P mu).
+    for i, mu in enumerate(MUS):
+        util = metrics.instance(f"v{i}", 0).utilization
+        assert util == pytest.approx(RATE / (P * mu), abs=0.05)

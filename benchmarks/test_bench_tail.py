@@ -1,0 +1,22 @@
+"""Benchmark + shape check for the 99th-percentile tail statistics."""
+
+from conftest import series
+
+from repro.experiments import tail
+
+REPS = 100
+
+
+def test_bench_tail(benchmark):
+    result = benchmark.pedantic(
+        tail.run, kwargs={"repetitions": REPS}, rounds=1, iterations=1
+    )
+    for n in sorted({row["requests"] for row in result.rows}):
+        by_algo = {
+            row["algorithm"]: float(row["p99_w"])
+            for row in result.filtered(requests=n)
+        }
+        # Paper: RCKK's tail is never worse; 44.54% -> 5.18% better.
+        assert by_algo["RCKK"] <= by_algo["CGA"] * 1.05
+    first = [r for r in result.rows if r["algorithm"] == "RCKK"][0]
+    assert float(first["enhancement"]) > 0.1

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Packet-loss feedback: analytic model vs discrete-event simulation.
+
+Reproduces the paper's Fig. 3 setting — a request traversing a two-VNF
+chain with end-to-end loss and NACK retransmission — and shows that the
+closed-form open-Jackson results,
+
+    E[T_i] = 1 / (P * mu_i - lambda_0),
+
+agree with an independent packet-level simulation, across a sweep of
+delivery probabilities.
+
+Run with::
+
+    python examples/packet_loss_study.py
+"""
+
+from repro import ChainSimulator, Request, ServiceChain, SimulationConfig, VNF
+from repro.queueing import ChainFeedbackModel
+
+
+def main() -> None:
+    arrival_rate = 40.0  # packets/s
+    service_rates = (90.0, 70.0)
+
+    print(
+        f"chain: lambda0={arrival_rate} pps -> "
+        f"VNF1(mu={service_rates[0]}) -> VNF2(mu={service_rates[1]})\n"
+    )
+    header = (
+        f"{'P':>6s} {'analytic E[T]':>14s} {'simulated E[T]':>15s} "
+        f"{'error':>7s} {'retransmit %':>13s}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    for p in (1.0, 0.995, 0.99, 0.98):
+        analytic = ChainFeedbackModel(
+            external_rate=arrival_rate,
+            service_rates=service_rates,
+            delivery_probability=p,
+        )
+        expected = analytic.total_response_time()
+
+        chain = ServiceChain(["vnf1", "vnf2"])
+        vnfs = [
+            VNF("vnf1", demand_per_instance=1.0, num_instances=1,
+                service_rate=service_rates[0]),
+            VNF("vnf2", demand_per_instance=1.0, num_instances=1,
+                service_rate=service_rates[1]),
+        ]
+        request = Request(
+            request_id="r0",
+            chain=chain,
+            arrival_rate=arrival_rate,
+            delivery_probability=p,
+        )
+        simulator = ChainSimulator(
+            vnfs=vnfs,
+            requests=[request],
+            schedule={("r0", "vnf1"): 0, ("r0", "vnf2"): 0},
+            config=SimulationConfig(duration=3000.0, warmup=300.0, seed=11),
+        )
+        metrics = simulator.run()
+        # The analytic E[T] counts one pass through the chain per *visit*;
+        # the simulated end-to-end time of a delivered packet includes its
+        # retransmission passes, so compare per-pass sojourn sums.
+        per_pass = sum(
+            metrics.instance("vnf1", 0).mean_sojourn
+            + metrics.instance("vnf2", 0).mean_sojourn
+            for _ in (0,)
+        )
+        retrans = sum(metrics.retransmitted.values())
+        delivered = metrics.total_delivered
+        error = abs(per_pass - expected) / expected
+        print(
+            f"{p:6.3f} {expected:11.4f} s  {per_pass:12.4f} s  "
+            f"{error:6.1%} {retrans / max(1, delivered):12.2%}"
+        )
+
+    print(
+        "\nLoss feedback inflates every VNF's equivalent arrival rate to"
+        "\nlambda0 / P, so even a 2% loss rate visibly lengthens queues"
+        "\nnear capacity."
+    )
+
+
+if __name__ == "__main__":
+    main()

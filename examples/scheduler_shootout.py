@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Scheduler shootout: every request-scheduling policy on one problem.
+
+Schedules the same request set onto a VNF's instances with all six
+policies in the library and compares balance quality, average and
+worst-case response time, and job rejection under admission control.
+
+Run with::
+
+    python examples/scheduler_shootout.py
+"""
+
+import numpy as np
+
+from repro.scheduling import (
+    CGAScheduler,
+    LeastLoadedScheduler,
+    RandomScheduler,
+    RCKKScheduler,
+    RoundRobinScheduler,
+)
+from repro.scheduling.metrics import schedule_report
+from repro.workload.scenarios import SchedulingScenario
+
+
+def main() -> None:
+    scenario = SchedulingScenario(
+        num_requests=40,
+        num_instances=5,
+        delivery_probability=0.98,
+        rho=0.9,
+        seed=2024,
+    )
+    problem = scenario.build()
+    print(
+        f"{problem.num_requests} requests onto "
+        f"{problem.num_instances} instances of "
+        f"{problem.vnf.name!r} (mu={problem.vnf.service_rate:.1f} pps, "
+        f"P={problem.requests[0].delivery_probability})\n"
+    )
+
+    schedulers = [
+        RCKKScheduler(),
+        CGAScheduler(),
+        CGAScheduler(max_nodes=200_000, presort=True),  # deep bounded search
+        LeastLoadedScheduler(),
+        RoundRobinScheduler(),
+        RandomScheduler(rng=np.random.default_rng(3)),
+    ]
+    labels = ["RCKK", "CGA", "CGA-deep", "LeastLoaded", "RoundRobin", "Random"]
+
+    header = (
+        f"{'scheduler':12s} {'spread(pps)':>12s} {'avg W (ms)':>11s} "
+        f"{'max W (ms)':>11s} {'rejected':>9s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for label, scheduler in zip(labels, schedulers):
+        report = schedule_report(
+            scheduler.schedule(problem), apply_admission=True
+        )
+        print(
+            f"{label:12s} {report.spread:12.2f} "
+            f"{report.average_response_time * 1e3:11.3f} "
+            f"{report.max_response_time * 1e3:11.3f} "
+            f"{report.num_rejected:9d}"
+        )
+
+    print(
+        "\nRCKK's differencing gets within a whisker of the exact optimum"
+        "\nat a fraction of the cost; count-based policies (round-robin)"
+        "\nleave an order of magnitude more imbalance."
+    )
+
+
+if __name__ == "__main__":
+    main()

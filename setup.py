@@ -1,0 +1,7 @@
+"""Legacy setup shim: lets offline environments without the `wheel`
+package install in editable mode via `pip install -e . --no-use-pep517`.
+All project metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,126 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``demo``
+    Run the quickstart pipeline on a generated workload and print the
+    evaluation report.
+``experiments [figNN ...] [--paper]``
+    Run all experiments (or the named ones) and print the paper-style
+    tables.
+``simulate``
+    Run the packet-level simulator against the analytic model on a
+    two-VNF chain and print the agreement.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro import JointOptimizer, WorkloadGenerator
+
+    gen = WorkloadGenerator(np.random.default_rng(args.seed))
+    w = gen.workload(
+        num_vnfs=args.vnfs, num_nodes=args.nodes, num_requests=args.requests
+    )
+    solution = JointOptimizer().optimize(w.vnfs, w.requests, w.capacities)
+    report = solution.evaluate()
+    print(f"workload: {args.vnfs} VNFs, {args.nodes} nodes, "
+          f"{args.requests} requests (seed {args.seed})")
+    print(f"  avg node utilization   {report.average_node_utilization:.1%}")
+    print(f"  nodes in service       {report.nodes_in_service}")
+    print(f"  avg response latency   {report.average_response_latency * 1e3:.3f} ms")
+    print(f"  avg total latency      {report.average_total_latency * 1e3:.3f} ms")
+    print(f"  job rejection rate     {report.rejection_rate:.1%}")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments import runall
+
+    if args.figures:
+        import importlib
+
+        for name in args.figures:
+            module = importlib.import_module(f"repro.experiments.{name}")
+            module.run().print()
+            print()
+        return 0
+    return runall.main(["--paper"] if args.paper else [])
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro import ChainSimulator, Request, ServiceChain, SimulationConfig, VNF
+    from repro.queueing import ChainFeedbackModel
+
+    mus = (args.mu1, args.mu2)
+    model = ChainFeedbackModel(
+        external_rate=args.rate,
+        service_rates=mus,
+        delivery_probability=args.p,
+    )
+    vnfs = [VNF(f"v{i}", 1.0, 1, mu) for i, mu in enumerate(mus)]
+    chain = ServiceChain([f.name for f in vnfs])
+    request = Request("r0", chain, args.rate, delivery_probability=args.p)
+    sim = ChainSimulator(
+        vnfs,
+        [request],
+        {("r0", f.name): 0 for f in vnfs},
+        SimulationConfig(duration=args.duration, warmup=args.duration / 10,
+                         seed=args.seed),
+    )
+    metrics = sim.run()
+    analytic = model.total_response_time()
+    measured = metrics.mean_end_to_end()
+    print(f"chain: lambda0={args.rate} -> mu={mus} at P={args.p}")
+    print(f"  analytic  E[T] = {analytic:.5f} s")
+    print(f"  simulated E[T] = {measured:.5f} s "
+          f"({metrics.total_delivered} deliveries)")
+    print(f"  relative error  {abs(measured - analytic) / analytic:.2%}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="joint optimization demo")
+    demo.add_argument("--vnfs", type=int, default=10)
+    demo.add_argument("--nodes", type=int, default=8)
+    demo.add_argument("--requests", type=int, default=60)
+    demo.add_argument("--seed", type=int, default=42)
+    demo.set_defaults(func=_cmd_demo)
+
+    experiments = sub.add_parser("experiments", help="run paper experiments")
+    experiments.add_argument(
+        "figures",
+        nargs="*",
+        help="experiment names (fig05..fig16, tail, headline); "
+        "default: all",
+    )
+    experiments.add_argument("--paper", action="store_true",
+                             help="paper-scale repetitions")
+    experiments.set_defaults(func=_cmd_experiments)
+
+    simulate = sub.add_parser("simulate", help="simulator vs analytics")
+    simulate.add_argument("--rate", type=float, default=30.0)
+    simulate.add_argument("--mu1", type=float, default=90.0)
+    simulate.add_argument("--mu2", type=float, default=70.0)
+    simulate.add_argument("--p", type=float, default=0.98)
+    simulate.add_argument("--duration", type=float, default=500.0)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.set_defaults(func=_cmd_simulate)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,20 @@
+"""Statistics helpers for experiment aggregation."""
+
+from repro.analysis.comparison import PairedComparison, paired_comparison
+from repro.analysis.convergence import ConvergenceTracker
+from repro.analysis.stats import (
+    SummaryStats,
+    confidence_interval,
+    percentile,
+    summarize,
+)
+
+__all__ = [
+    "SummaryStats",
+    "summarize",
+    "percentile",
+    "confidence_interval",
+    "paired_comparison",
+    "PairedComparison",
+    "ConvergenceTracker",
+]

@@ -1,0 +1,100 @@
+"""Paired algorithm comparison — the statistics behind "A beats B".
+
+Experiments run two algorithms on *the same* Monte-Carlo instances, so
+the right test is paired: compare per-instance differences, not the two
+marginal distributions.  :func:`paired_comparison` reports the mean
+difference with its CI, the win rate, and the paper-style enhancement
+ratio — everything a claims table needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.stats import confidence_interval
+from repro.exceptions import ValidationError
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Paired comparison of metric samples from two algorithms.
+
+    "Improvement" means ``baseline - candidate`` for a smaller-is-better
+    metric (latency, nodes in service): positive numbers favour the
+    candidate.
+    """
+
+    count: int
+    mean_baseline: float
+    mean_candidate: float
+    mean_difference: float
+    ci_low: float
+    ci_high: float
+    win_rate: float
+    enhancement_ratio: float
+
+    @property
+    def significant(self) -> bool:
+        """Whether the CI for the mean difference excludes zero."""
+        return self.ci_low > 0.0 or self.ci_high < 0.0
+
+    def summary(self) -> str:
+        """One-line human-readable verdict."""
+        direction = (
+            "improves on" if self.mean_difference > 0 else "trails"
+        )
+        sig = "significant" if self.significant else "not significant"
+        return (
+            f"candidate {direction} baseline by "
+            f"{self.enhancement_ratio:+.1%} "
+            f"(wins {self.win_rate:.0%} of {self.count} paired runs; {sig})"
+        )
+
+
+def paired_comparison(
+    baseline: Sequence[float],
+    candidate: Sequence[float],
+    confidence: float = 0.95,
+) -> PairedComparison:
+    """Compare paired metric samples (smaller is better).
+
+    Parameters
+    ----------
+    baseline, candidate:
+        Same-length sequences, index-aligned by Monte-Carlo instance.
+    confidence:
+        CI level for the mean difference.
+    """
+    if len(baseline) != len(candidate):
+        raise ValidationError(
+            f"paired samples must align: {len(baseline)} vs {len(candidate)}"
+        )
+    if len(baseline) == 0:
+        raise ValidationError("cannot compare empty samples")
+    base = np.asarray(baseline, dtype=float)
+    cand = np.asarray(candidate, dtype=float)
+    if not (np.all(np.isfinite(base)) and np.all(np.isfinite(cand))):
+        raise ValidationError("samples must be finite")
+
+    differences = base - cand
+    mean_diff = float(differences.mean())
+    std_diff = float(differences.std(ddof=1)) if len(differences) > 1 else 0.0
+    ci_low, ci_high = confidence_interval(
+        mean_diff, std_diff, len(differences), confidence
+    )
+    wins = float(np.mean(differences > 0.0))
+    mean_base = float(base.mean())
+    enhancement = mean_diff / mean_base if mean_base != 0.0 else 0.0
+    return PairedComparison(
+        count=len(differences),
+        mean_baseline=mean_base,
+        mean_candidate=float(cand.mean()),
+        mean_difference=mean_diff,
+        ci_low=ci_low,
+        ci_high=ci_high,
+        win_rate=wins,
+        enhancement_ratio=enhancement,
+    )

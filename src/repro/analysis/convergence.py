@@ -1,0 +1,124 @@
+"""Sequential Monte-Carlo convergence tracking.
+
+The paper averages 1000 runs per point; often far fewer suffice.  A
+:class:`ConvergenceTracker` consumes samples one at a time, maintains the
+running mean/variance (Welford), and reports when the confidence
+interval's half-width falls below a target relative precision — the
+standard sequential stopping rule the ``--paper`` harness can use to
+stop early without biasing the estimate materially.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.analysis.stats import _Z_SCORES
+from repro.exceptions import ValidationError
+
+
+class ConvergenceTracker:
+    """Running mean/variance with a relative-precision stopping rule.
+
+    Parameters
+    ----------
+    relative_precision:
+        Target half-width of the CI as a fraction of the mean (e.g.
+        0.01 for +/-1%).
+    confidence:
+        CI level; one of 0.90, 0.95, 0.99.
+    min_samples:
+        Never report convergence before this many samples (guards
+        against lucky early agreement).
+    """
+
+    def __init__(
+        self,
+        relative_precision: float = 0.01,
+        confidence: float = 0.95,
+        min_samples: int = 30,
+    ) -> None:
+        if relative_precision <= 0.0:
+            raise ValidationError(
+                f"relative precision must be positive, got {relative_precision!r}"
+            )
+        if confidence not in _Z_SCORES:
+            raise ValidationError(
+                f"unsupported confidence {confidence!r}; "
+                f"choose from {sorted(_Z_SCORES)}"
+            )
+        if min_samples < 2:
+            raise ValidationError(
+                f"min_samples must be >= 2, got {min_samples!r}"
+            )
+        self._precision = relative_precision
+        self._z = _Z_SCORES[confidence]
+        self._min_samples = min_samples
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, sample: float) -> None:
+        """Consume one sample (Welford's update)."""
+        if not math.isfinite(sample):
+            raise ValidationError(f"sample must be finite, got {sample!r}")
+        self._count += 1
+        delta = sample - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (sample - self._mean)
+
+    @property
+    def count(self) -> int:
+        """Samples consumed."""
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        """Running mean."""
+        if self._count == 0:
+            raise ValidationError("no samples yet")
+        return self._mean
+
+    @property
+    def std(self) -> float:
+        """Running sample standard deviation (ddof=1)."""
+        if self._count < 2:
+            return 0.0
+        return math.sqrt(self._m2 / (self._count - 1))
+
+    def half_width(self) -> float:
+        """Current CI half-width."""
+        if self._count < 2:
+            return math.inf
+        return self._z * self.std / math.sqrt(self._count)
+
+    def interval(self) -> Tuple[float, float]:
+        """Current confidence interval for the mean."""
+        h = self.half_width()
+        return (self.mean - h, self.mean + h)
+
+    def converged(self) -> bool:
+        """Whether the stopping rule is satisfied.
+
+        True when ``half_width <= relative_precision * |mean|`` after at
+        least ``min_samples`` samples.  A zero mean converges only once
+        the half-width itself is (numerically) zero.
+        """
+        if self._count < self._min_samples:
+            return False
+        target = self._precision * abs(self._mean)
+        if target == 0.0:
+            return self.half_width() <= 1e-15
+        return self.half_width() <= target
+
+    def estimated_samples_needed(self) -> Optional[int]:
+        """Projected total samples for convergence at the current variance.
+
+        ``n >= (z s / (precision |mean|))^2``; None before two samples or
+        when the mean is zero.
+        """
+        if self._count < 2 or self._mean == 0.0:
+            return None
+        needed = (self._z * self.std / (self._precision * abs(self._mean))) ** 2
+        return max(self._min_samples, math.ceil(needed))

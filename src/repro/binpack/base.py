@@ -1,0 +1,208 @@
+"""Core bin-packing data model: items, bins and packing results.
+
+Unlike the textbook Variable Sized Bin Packing problem — where every bin
+size is available in unlimited supply — the VNF-CP problem supplies each
+bin (computing node) exactly once, each with its own capacity.  The model
+here therefore treats bins as distinct named objects with finite capacity
+and tracks residual space per bin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Optional
+
+from repro.exceptions import InfeasiblePlacementError, ValidationError
+
+#: Numeric slack used when comparing demands with residual capacities.
+CAPACITY_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class Item:
+    """An indivisible item to pack (a VNF's total demand, ``M_f * D_f``)."""
+
+    key: Hashable
+    size: float
+
+    def __post_init__(self) -> None:
+        if self.size < 0.0:
+            raise ValidationError(f"item size must be non-negative, got {self.size!r}")
+
+
+class Bin:
+    """A single finite-capacity bin (a computing node).
+
+    Tracks which items it holds and how much residual capacity remains.
+    """
+
+    def __init__(self, key: Hashable, capacity: float) -> None:
+        if capacity < 0.0:
+            raise ValidationError(f"bin capacity must be non-negative, got {capacity!r}")
+        self.key = key
+        self.capacity = float(capacity)
+        self.items: List[Item] = []
+
+    @property
+    def used(self) -> float:
+        """Total size of the items currently packed in this bin."""
+        return sum(item.size for item in self.items)
+
+    @property
+    def residual(self) -> float:
+        """Remaining capacity, ``capacity - used``."""
+        return self.capacity - self.used
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether no item has been packed into this bin."""
+        return not self.items
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of capacity in use; 0.0 for a zero-capacity bin."""
+        if self.capacity == 0.0:
+            return 0.0
+        return self.used / self.capacity
+
+    def fits(self, item: Item) -> bool:
+        """Whether ``item`` fits in the residual capacity."""
+        return item.size <= self.residual + CAPACITY_EPS
+
+    def add(self, item: Item) -> None:
+        """Pack ``item``, raising if it does not fit."""
+        if not self.fits(item):
+            raise InfeasiblePlacementError(
+                f"item {item.key!r} (size {item.size:.6g}) does not fit in bin "
+                f"{self.key!r} (residual {self.residual:.6g})"
+            )
+        self.items.append(item)
+
+    def remove(self, item: Item) -> None:
+        """Unpack ``item`` (must be present)."""
+        self.items.remove(item)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Bin(key={self.key!r}, capacity={self.capacity:.6g}, "
+            f"used={self.used:.6g}, items={len(self.items)})"
+        )
+
+
+@dataclass
+class PackingResult:
+    """The outcome of a packing run."""
+
+    bins: List[Bin]
+    #: Number of elementary algorithm iterations consumed (paper Fig. 10).
+    iterations: int = 0
+    assignment: Dict[Hashable, Hashable] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.assignment:
+            self.assignment = {
+                item.key: b.key for b in self.bins for item in b.items
+            }
+
+    @property
+    def used_bins(self) -> List[Bin]:
+        """Bins holding at least one item (the nodes "in service")."""
+        return [b for b in self.bins if not b.is_empty]
+
+    @property
+    def num_used_bins(self) -> int:
+        """Count of non-empty bins (Eq. 14 objective)."""
+        return len(self.used_bins)
+
+    @property
+    def average_utilization(self) -> float:
+        """Mean utilization over *used* bins (Eq. 13 objective)."""
+        used = self.used_bins
+        if not used:
+            return 0.0
+        return sum(b.utilization for b in used) / len(used)
+
+    @property
+    def total_occupied_capacity(self) -> float:
+        """Sum of the capacities of used bins ("resource occupation")."""
+        return sum(b.capacity for b in self.used_bins)
+
+    def bin_of(self, item_key: Hashable) -> Hashable:
+        """Return the key of the bin holding ``item_key``."""
+        try:
+            return self.assignment[item_key]
+        except KeyError:
+            raise ValidationError(f"item {item_key!r} was not packed") from None
+
+    def validate(self, items: Iterable[Item]) -> None:
+        """Check that every item is packed exactly once within capacity.
+
+        Raises
+        ------
+        ValidationError
+            If an item is missing, duplicated, or any bin overflows.
+        """
+        packed: Dict[Hashable, int] = {}
+        for b in self.bins:
+            for item in b.items:
+                packed[item.key] = packed.get(item.key, 0) + 1
+            if b.used > b.capacity + CAPACITY_EPS:
+                raise ValidationError(
+                    f"bin {b.key!r} overflows: used {b.used:.6g} > "
+                    f"capacity {b.capacity:.6g}"
+                )
+        for item in items:
+            count = packed.get(item.key, 0)
+            if count != 1:
+                raise ValidationError(
+                    f"item {item.key!r} packed {count} times, expected exactly once"
+                )
+
+
+def make_bins(capacities: Iterable[float]) -> List[Bin]:
+    """Create anonymous bins ``0..n-1`` from a capacity sequence."""
+    return [Bin(key=i, capacity=c) for i, c in enumerate(capacities)]
+
+
+def make_items(sizes: Iterable[float]) -> List[Item]:
+    """Create anonymous items ``0..n-1`` from a size sequence."""
+    return [Item(key=i, size=s) for i, s in enumerate(sizes)]
+
+
+def sorted_decreasing(items: Iterable[Item]) -> List[Item]:
+    """Items sorted by size descending (ties broken by key repr for determinism)."""
+    return sorted(items, key=lambda it: (-it.size, repr(it.key)))
+
+
+def check_feasible_sizes(items: Iterable[Item], bins: Iterable[Bin]) -> None:
+    """Fast necessary-condition check before running any packer.
+
+    Raises :class:`InfeasiblePlacementError` if some item exceeds every
+    bin's capacity or total demand exceeds total capacity.
+    """
+    bin_list = list(bins)
+    item_list = list(items)
+    if not bin_list and item_list:
+        raise InfeasiblePlacementError("no bins available")
+    max_cap = max((b.capacity for b in bin_list), default=0.0)
+    total_cap = sum(b.capacity for b in bin_list)
+    total_size = sum(it.size for it in item_list)
+    for it in item_list:
+        if it.size > max_cap + CAPACITY_EPS:
+            raise InfeasiblePlacementError(
+                f"item {it.key!r} (size {it.size:.6g}) exceeds the largest "
+                f"bin capacity {max_cap:.6g}"
+            )
+    if total_size > total_cap + CAPACITY_EPS:
+        raise InfeasiblePlacementError(
+            f"total item size {total_size:.6g} exceeds total capacity "
+            f"{total_cap:.6g}"
+        )
+
+
+def find_fitting(bins: List[Bin], item: Item) -> Optional[Bin]:
+    """Return the first bin that fits ``item``, or ``None``."""
+    for b in bins:
+        if b.fits(item):
+            return b
+    return None

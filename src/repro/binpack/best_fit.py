@@ -1,0 +1,52 @@
+"""Best-fit and best-fit-decreasing packers over finite bin sets.
+
+Best-fit places each item into the *feasible bin with the least residual
+capacity*, keeping bins as full as possible.  Deterministic BFD is the
+non-randomized core of the paper's BFDSU algorithm and serves as an
+ablation baseline (what BFDSU becomes when the weighted random draw always
+picks the tightest node).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.binpack.base import (
+    Bin,
+    Item,
+    PackingResult,
+    check_feasible_sizes,
+    sorted_decreasing,
+)
+from repro.exceptions import InfeasiblePlacementError
+
+
+def _tightest_fitting(bins: List[Bin], item: Item) -> Optional[Bin]:
+    """The feasible bin minimizing residual capacity, or ``None``."""
+    best: Optional[Bin] = None
+    for b in bins:
+        if b.fits(item) and (best is None or b.residual < best.residual):
+            best = b
+    return best
+
+
+def best_fit(items: Iterable[Item], bins: List[Bin]) -> PackingResult:
+    """Pack items in given order, each into the tightest bin that fits."""
+    item_list = list(items)
+    check_feasible_sizes(item_list, bins)
+    iterations = 0
+    for item in item_list:
+        iterations += len(bins)
+        target = _tightest_fitting(bins, item)
+        if target is None:
+            raise InfeasiblePlacementError(
+                f"best-fit could not place item {item.key!r} "
+                f"(size {item.size:.6g}) in any bin"
+            )
+        target.add(item)
+    return PackingResult(bins=bins, iterations=iterations)
+
+
+def best_fit_decreasing(items: Iterable[Item], bins: List[Bin]) -> PackingResult:
+    """Best-fit over items pre-sorted by decreasing size (classic BFD)."""
+    return best_fit(sorted_decreasing(items), bins)

@@ -1,0 +1,60 @@
+"""First-fit and first-fit-decreasing packers over finite bin sets.
+
+FFD is the paper's first baseline: scan bins in a fixed order, place each
+item (sorted by decreasing size) into the first bin with room.  Unlike
+BFDSU it keeps no Used/Spare distinction and makes a single deterministic
+pass, which is why the paper reports it using exactly one "iteration"
+(Fig. 10) but the most nodes in service (Fig. 8).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.binpack.base import (
+    Bin,
+    Item,
+    PackingResult,
+    check_feasible_sizes,
+    sorted_decreasing,
+)
+from repro.exceptions import InfeasiblePlacementError
+
+
+def first_fit(items: Iterable[Item], bins: List[Bin]) -> PackingResult:
+    """Pack items in given order, each into the first bin that fits.
+
+    Parameters
+    ----------
+    items:
+        Items in the order they should be considered.
+    bins:
+        Bins in their fixed scan order; they are mutated in place.
+
+    Raises
+    ------
+    InfeasiblePlacementError
+        If some item fits in no bin's residual capacity.
+    """
+    item_list = list(items)
+    check_feasible_sizes(item_list, bins)
+    iterations = 0
+    for item in item_list:
+        placed = False
+        for b in bins:
+            iterations += 1
+            if b.fits(item):
+                b.add(item)
+                placed = True
+                break
+        if not placed:
+            raise InfeasiblePlacementError(
+                f"first-fit could not place item {item.key!r} "
+                f"(size {item.size:.6g}) in any bin"
+            )
+    return PackingResult(bins=bins, iterations=iterations)
+
+
+def first_fit_decreasing(items: Iterable[Item], bins: List[Bin]) -> PackingResult:
+    """First-fit over items pre-sorted by decreasing size (classic FFD)."""
+    return first_fit(sorted_decreasing(items), bins)

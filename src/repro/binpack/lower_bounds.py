@@ -1,0 +1,99 @@
+"""Lower bounds on the optimal number of bins.
+
+Used by the optimality tests to sandwich heuristic results:
+``lower_bound <= OPT <= heuristic``.  With heterogeneous finite bins the
+classic bounds need a small twist: to pack total demand ``S`` we must
+open at least enough of the *largest* bins to cover ``S``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence
+
+from repro.exceptions import ValidationError
+
+
+def continuous_lower_bound(
+    item_sizes: Sequence[float], bin_capacities: Sequence[float]
+) -> int:
+    """Greedy volume bound: fewest largest bins whose capacities cover demand.
+
+    Any feasible packing uses a set of bins whose total capacity is at
+    least the total item size; the cheapest such set (by count) takes bins
+    in decreasing capacity order.
+    """
+    total = sum(item_sizes)
+    if total < 0.0:
+        raise ValidationError("item sizes must be non-negative")
+    if total == 0.0:
+        return 0
+    remaining = total
+    count = 0
+    for cap in sorted(bin_capacities, reverse=True):
+        count += 1
+        remaining -= cap
+        if remaining <= 1e-12:
+            return count
+    raise ValidationError(
+        f"total item size {total:.6g} exceeds total bin capacity; "
+        "no packing exists"
+    )
+
+
+def l2_lower_bound(
+    item_sizes: Sequence[float], bin_capacity: float, threshold: float = 0.0
+) -> int:
+    """Martello-Toth L2-style bound for *uniform* bins of ``bin_capacity``.
+
+    Items larger than ``bin_capacity - threshold`` each need a private
+    bin; the rest contribute by volume.  Maximizing over thresholds (done
+    by callers sweeping ``threshold``) tightens the bound; a single call
+    gives a valid bound for its threshold.
+    """
+    if bin_capacity <= 0.0:
+        raise ValidationError(f"bin capacity must be positive, got {bin_capacity!r}")
+    if not 0.0 <= threshold <= bin_capacity / 2.0 + 1e-12:
+        raise ValidationError(
+            f"threshold must be in [0, capacity/2], got {threshold!r}"
+        )
+    big = [s for s in item_sizes if s > bin_capacity - threshold]
+    medium = [s for s in item_sizes if threshold <= s <= bin_capacity - threshold]
+    # Each big item occupies its own bin entirely (no medium item fits with it).
+    bound = len(big)
+    volume = sum(medium)
+    if volume > 0.0:
+        bound += max(0, math.ceil(volume / bin_capacity))
+    return bound
+
+
+def best_l2_lower_bound(item_sizes: Sequence[float], bin_capacity: float) -> int:
+    """Maximize :func:`l2_lower_bound` over the thresholds worth checking.
+
+    The bound only changes where an item's classification flips: at item
+    sizes ``<= capacity/2`` (medium/ignored boundary), just above
+    ``capacity - s`` for each size ``s > capacity/2`` (big boundary), and
+    at ``capacity/2`` itself (the strongest big classifier).
+    """
+    half = bin_capacity / 2.0
+    candidates: List[float] = [0.0, half]
+    for s in set(item_sizes):
+        if s <= half:
+            candidates.append(s)
+        else:
+            flip = bin_capacity - s + 1e-9
+            if flip <= half:
+                candidates.append(flip)
+    return max(l2_lower_bound(item_sizes, bin_capacity, t) for t in candidates)
+
+
+def min_bins_possible(
+    item_sizes: Iterable[float], bin_capacities: Sequence[float]
+) -> int:
+    """The stronger of the applicable lower bounds for this instance."""
+    sizes = list(item_sizes)
+    caps = list(bin_capacities)
+    bound = continuous_lower_bound(sizes, caps)
+    if caps and len(set(caps)) == 1:
+        bound = max(bound, best_l2_lower_bound(sizes, caps[0]))
+    return bound

@@ -1,0 +1,40 @@
+"""Next-fit packer over finite bin sets.
+
+Next-fit keeps a single "open" bin and moves on (never returning) when an
+item does not fit.  It is the weakest classic heuristic and anchors the
+bottom of the placement-quality comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.binpack.base import Bin, Item, PackingResult, check_feasible_sizes
+from repro.exceptions import InfeasiblePlacementError
+
+
+def next_fit(items: Iterable[Item], bins: List[Bin]) -> PackingResult:
+    """Pack items in given order with the next-fit rule.
+
+    Because bins are finite and heterogeneous, next-fit can fail on
+    instances other heuristics solve; callers should expect
+    :class:`InfeasiblePlacementError` and treat it as the algorithm's
+    answer, not a bug.
+    """
+    item_list = list(items)
+    check_feasible_sizes(item_list, bins)
+    iterations = 0
+    open_index = 0
+    for item in item_list:
+        while open_index < len(bins):
+            iterations += 1
+            if bins[open_index].fits(item):
+                bins[open_index].add(item)
+                break
+            open_index += 1
+        else:
+            raise InfeasiblePlacementError(
+                f"next-fit ran out of bins at item {item.key!r} "
+                f"(size {item.size:.6g})"
+            )
+    return PackingResult(bins=bins, iterations=iterations)

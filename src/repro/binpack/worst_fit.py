@@ -1,0 +1,51 @@
+"""Worst-fit and worst-fit-decreasing packers over finite bin sets.
+
+Worst-fit places each item into the feasible bin with the *most* residual
+capacity — the load-spreading strategy.  It deliberately works against the
+consolidation objective (Eq. 13/14) and is included as a lower-anchor
+baseline for the placement benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.binpack.base import (
+    Bin,
+    Item,
+    PackingResult,
+    check_feasible_sizes,
+    sorted_decreasing,
+)
+from repro.exceptions import InfeasiblePlacementError
+
+
+def _loosest_fitting(bins: List[Bin], item: Item) -> Optional[Bin]:
+    """The feasible bin maximizing residual capacity, or ``None``."""
+    best: Optional[Bin] = None
+    for b in bins:
+        if b.fits(item) and (best is None or b.residual > best.residual):
+            best = b
+    return best
+
+
+def worst_fit(items: Iterable[Item], bins: List[Bin]) -> PackingResult:
+    """Pack items in given order, each into the emptiest bin that fits."""
+    item_list = list(items)
+    check_feasible_sizes(item_list, bins)
+    iterations = 0
+    for item in item_list:
+        iterations += len(bins)
+        target = _loosest_fitting(bins, item)
+        if target is None:
+            raise InfeasiblePlacementError(
+                f"worst-fit could not place item {item.key!r} "
+                f"(size {item.size:.6g}) in any bin"
+            )
+        target.add(item)
+    return PackingResult(bins=bins, iterations=iterations)
+
+
+def worst_fit_decreasing(items: Iterable[Item], bins: List[Bin]) -> PackingResult:
+    """Worst-fit over items pre-sorted by decreasing size."""
+    return worst_fit(sorted_decreasing(items), bins)

@@ -1,0 +1,97 @@
+"""Admission control: shedding load from overloaded service instances.
+
+The paper (Sections I and III-B): "When the arrival rate is larger than
+the service rate, the admission control mechanism will drop some requests
+to ensure the normal operation of the services."  The *job rejection
+rate* — rejected requests over offered requests — is the metric of
+Figs. 15-16.
+
+Policy implemented here: per overloaded instance, requests are rejected
+in decreasing effective-rate order (shedding the heaviest flows first
+restores stability with the fewest rejections) until the instance's
+utilization drops below ``target_utilization``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.exceptions import ValidationError
+from repro.nfv.instance import ServiceInstance
+from repro.nfv.request import Request
+
+#: Default post-admission utilization ceiling.  Strictly below 1 so the
+#: M/M/1 steady state exists after shedding.
+DEFAULT_TARGET_UTILIZATION = 0.999
+
+
+@dataclass(frozen=True)
+class AdmissionOutcome:
+    """Result of applying admission control to a set of instances."""
+
+    #: The instances with rejected requests removed (new objects; the
+    #: inputs are not mutated).
+    instances: List[ServiceInstance]
+    #: All rejected requests, across instances.
+    rejected: List[Request]
+
+    @property
+    def num_rejected(self) -> int:
+        """Count of rejected requests."""
+        return len(self.rejected)
+
+    @property
+    def num_admitted(self) -> int:
+        """Count of requests still scheduled after shedding."""
+        return sum(len(inst.requests) for inst in self.instances)
+
+    @property
+    def rejection_rate(self) -> float:
+        """Rejected over offered (the Figs. 15-16 metric)."""
+        offered = self.num_admitted + self.num_rejected
+        if offered == 0:
+            return 0.0
+        return self.num_rejected / offered
+
+
+def apply_admission_control(
+    instances: Sequence[ServiceInstance],
+    target_utilization: float = DEFAULT_TARGET_UTILIZATION,
+) -> AdmissionOutcome:
+    """Shed requests from overloaded instances until all are stable.
+
+    Parameters
+    ----------
+    instances:
+        Service instances with their scheduled requests.  Not mutated.
+    target_utilization:
+        Post-shedding utilization ceiling in ``(0, 1)``.
+
+    Returns
+    -------
+    AdmissionOutcome
+        Stabilized instances plus the rejected requests.
+    """
+    if not 0.0 < target_utilization < 1.0:
+        raise ValidationError(
+            f"target utilization must be in (0, 1), got {target_utilization!r}"
+        )
+    stabilized: List[ServiceInstance] = []
+    rejected: List[Request] = []
+    for instance in instances:
+        capacity = instance.vnf.service_rate * target_utilization
+        kept = ServiceInstance(vnf=instance.vnf, index=instance.index)
+        # Admit in increasing effective-rate order, so when shedding is
+        # necessary the heaviest flows are the ones rejected.
+        load = 0.0
+        overflow: List[Request] = []
+        for request in sorted(instance.requests, key=lambda r: r.effective_rate):
+            if load + request.effective_rate <= capacity:
+                kept.assign(request)
+                load += request.effective_rate
+            else:
+                overflow.append(request)
+        rejected.extend(overflow)
+        stabilized.append(kept)
+    return AdmissionOutcome(instances=stabilized, rejected=rejected)

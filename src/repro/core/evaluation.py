@@ -1,0 +1,150 @@
+"""End-to-end evaluation of a joint deployment.
+
+:func:`evaluate_deployment` scores a complete
+:class:`~repro.nfv.state.DeploymentState` on every metric the paper's
+evaluation section uses, in one pass:
+
+* placement quality (Eqs. 13/14 + resource occupation),
+* scheduling quality (Eq. 15, per-instance utilizations),
+* the coordinated objective (Eq. 16) with link latency ``L``,
+* job rejection rate under admission control.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core import objectives
+from repro.core.admission import apply_admission_control
+from repro.nfv.state import DeploymentState
+from repro.topology.graph import DEFAULT_LINK_LATENCY
+
+
+@dataclass(frozen=True)
+class EvaluationReport:
+    """Every paper metric for one joint solution."""
+
+    # Placement metrics (Figs. 5-9)
+    average_node_utilization: float
+    nodes_in_service: int
+    resource_occupation: float
+    # Scheduling metrics (Figs. 11-14)
+    average_response_latency: float
+    max_instance_utilization: float
+    # Coordinated objective (Eq. 16)
+    total_latency: float
+    average_total_latency: float
+    # Admission (Figs. 15-16)
+    num_rejected: int
+    rejection_rate: float
+
+    def is_stable(self) -> bool:
+        """Whether every serving instance has a steady state."""
+        return math.isfinite(self.average_response_latency)
+
+
+def evaluate_deployment(
+    state: DeploymentState,
+    link_latency: float = DEFAULT_LINK_LATENCY,
+    with_admission: bool = True,
+) -> EvaluationReport:
+    """Score a complete deployment on all paper metrics.
+
+    Parameters
+    ----------
+    state:
+        The joint solution; it is structurally validated first.
+    link_latency:
+        The per-hop constant ``L`` of Eq. (16).
+    with_admission:
+        When True, rejection metrics come from running admission control
+        over the scheduled instances (the analytic state itself is left
+        untouched — latency metrics describe the *admitted* load only if
+        shedding was required).
+    """
+    state.validate()
+    instances = state.instances()
+    serving = [inst for inst in instances if inst.requests]
+
+    num_rejected = 0
+    rejection_rate = 0.0
+    latency_instances = serving
+    if with_admission:
+        outcome = apply_admission_control(serving)
+        num_rejected = outcome.num_rejected
+        rejection_rate = outcome.rejection_rate
+        latency_instances = [
+            inst for inst in outcome.instances if inst.requests
+        ]
+
+    if latency_instances and all(i.is_stable for i in latency_instances):
+        avg_w = sum(i.mean_response_time for i in latency_instances) / len(
+            latency_instances
+        )
+    else:
+        avg_w = math.inf
+
+    max_util = max((i.utilization for i in serving), default=0.0)
+
+    if math.isfinite(avg_w) and not num_rejected:
+        total = objectives.total_latency(state, link_latency)
+        avg_total = total / len(state.requests) if state.requests else 0.0
+    elif math.isfinite(avg_w):
+        # Shedding occurred: approximate per-request totals over admitted
+        # load by rebuilding a shed-aware latency sum.
+        total = _total_latency_after_admission(
+            state, latency_instances, link_latency
+        )
+        avg_total = total
+    else:
+        total = math.inf
+        avg_total = math.inf
+
+    return EvaluationReport(
+        average_node_utilization=state.average_node_utilization(),
+        nodes_in_service=state.total_nodes_in_service(),
+        resource_occupation=sum(
+            state.node_capacities[v] for v in state.nodes_in_service()
+        ),
+        average_response_latency=avg_w,
+        max_instance_utilization=max_util,
+        total_latency=total,
+        average_total_latency=avg_total,
+        num_rejected=num_rejected,
+        rejection_rate=rejection_rate,
+    )
+
+
+def _total_latency_after_admission(state, instances, link_latency) -> float:
+    """Mean per-admitted-request latency when some requests were shed."""
+    instance_w = {
+        inst.key: inst.mean_response_time for inst in instances if inst.requests
+    }
+    admitted = {
+        request.request_id
+        for inst in instances
+        for request in inst.requests
+    }
+    total = 0.0
+    counted = 0
+    for request in state.requests:
+        if request.request_id not in admitted:
+            continue
+        ok = True
+        response = 0.0
+        for vnf_name in request.chain:
+            k = state.schedule.get((request.request_id, vnf_name))
+            w = instance_w.get((vnf_name, k))
+            if w is None:
+                ok = False
+                break
+            response += w
+        if not ok:
+            continue
+        total += response + state.inter_node_hops(request.request_id) * link_latency
+        counted += 1
+    if counted == 0:
+        return math.inf
+    return total / counted

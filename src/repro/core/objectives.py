@@ -1,0 +1,94 @@
+"""Evaluators for the paper's objective functions, Eqs. (13)-(16).
+
+These functions score a complete :class:`~repro.nfv.state.DeploymentState`:
+
+* Eq. (13): maximize the average resource utilization of nodes in service.
+* Eq. (14): minimize the number of nodes in service (complementary).
+* Eq. (15): minimize the average response latency per service instance.
+* Eq. (16): minimize the total latency of all requests — per-request
+  instance response times plus ``(sum_v eta_v^r - 1) * L`` link latency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Tuple
+
+from repro.exceptions import SchedulingError
+from repro.nfv.state import DeploymentState
+
+
+def average_node_utilization(state: DeploymentState) -> float:
+    """Objective 1 (Eq. 13): mean load/capacity over used nodes."""
+    return state.average_node_utilization()
+
+
+def total_nodes_in_service(state: DeploymentState) -> int:
+    """The complementary objective (Eq. 14): ``sum_v y_v``."""
+    return state.total_nodes_in_service()
+
+
+def average_response_latency(state: DeploymentState) -> float:
+    """Objective 2 (Eq. 15): mean ``W(f,k)`` over serving instances.
+
+    Instances with no scheduled requests are skipped (their ``W`` is
+    undefined); an unstable serving instance yields ``inf``.
+    """
+    serving = [inst for inst in state.instances() if inst.requests]
+    if not serving:
+        raise SchedulingError("no instance serves any request")
+    if not all(inst.is_stable for inst in serving):
+        return math.inf
+    return sum(inst.mean_response_time for inst in serving) / len(serving)
+
+
+def per_request_response_time(state: DeploymentState) -> Dict[str, float]:
+    """Each request's summed instance response times along its chain.
+
+    The first term of Eq. (16): ``sum_f sum_k z_{r,k}^f U_r^f W(f,k)``.
+    """
+    instance_w: Dict[Tuple[str, int], float] = {}
+    for inst in state.instances():
+        if inst.requests:
+            instance_w[inst.key] = (
+                inst.mean_response_time if inst.is_stable else math.inf
+            )
+    totals: Dict[str, float] = {}
+    for request in state.requests:
+        total = 0.0
+        for vnf_name in request.chain:
+            k = state.schedule.get((request.request_id, vnf_name))
+            if k is None:
+                raise SchedulingError(
+                    f"request {request.request_id!r} unscheduled on "
+                    f"VNF {vnf_name!r}"
+                )
+            total += instance_w[(vnf_name, k)]
+        totals[request.request_id] = total
+    return totals
+
+
+def total_latency(state: DeploymentState, link_latency: float) -> float:
+    """Eq. (16): summed response + communication latency of all requests.
+
+    Parameters
+    ----------
+    state:
+        A complete, validated deployment.
+    link_latency:
+        The per-hop constant ``L`` (propagation + transmission).
+    """
+    response = per_request_response_time(state)
+    total = 0.0
+    for request in state.requests:
+        hops = state.inter_node_hops(request.request_id)
+        total += response[request.request_id] + hops * link_latency
+    return total
+
+
+def average_total_latency(state: DeploymentState, link_latency: float) -> float:
+    """Eq. (16) normalized per request — the paper's headline latency."""
+    n = len(state.requests)
+    if n == 0:
+        raise SchedulingError("deployment has no requests")
+    return total_latency(state, link_latency) / n

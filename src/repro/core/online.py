@@ -1,0 +1,169 @@
+"""Online request scheduling with periodic RCKK rebalancing.
+
+The paper schedules a known request set offline.  In operation,
+requests arrive and depart over time; the natural deployment is:
+
+* **admit online** — each arriving request joins the least-loaded
+  instance of every VNF on its chain (the O(log m) online policy), and
+* **rebalance periodically** — every ``rebalance_every`` arrivals, re-run
+  RCKK over the currently active requests, migrating assignments toward
+  the balanced partition.
+
+:class:`OnlineScheduler` implements this loop for one VNF and tracks
+the imbalance trajectory, so the value of periodic rebalancing (and its
+migration cost) can be quantified against pure-online and pure-offline
+extremes — the dynamics the paper defers to future SDN-coordinated work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import SchedulingError, ValidationError
+from repro.nfv.request import Request
+from repro.nfv.vnf import VNF
+from repro.partition.rckk import rckk_partition
+
+
+@dataclass
+class OnlineSnapshot:
+    """State of the online system after one event."""
+
+    event_index: int
+    active_requests: int
+    instance_rates: Tuple[float, ...]
+    migrations: int
+
+    @property
+    def spread(self) -> float:
+        """Max-min instance rate at this point."""
+        return max(self.instance_rates) - min(self.instance_rates)
+
+
+class OnlineScheduler:
+    """Arrival/departure-driven scheduling for one VNF's instances.
+
+    Parameters
+    ----------
+    vnf:
+        The VNF (supplies ``M_f`` and ``mu_f``).
+    rebalance_every:
+        Re-run RCKK after this many arrivals; ``0`` disables
+        rebalancing (pure online least-loaded).
+    """
+
+    def __init__(self, vnf: VNF, rebalance_every: int = 0) -> None:
+        if rebalance_every < 0:
+            raise ValidationError(
+                f"rebalance_every must be >= 0, got {rebalance_every!r}"
+            )
+        self._vnf = vnf
+        self._rebalance_every = rebalance_every
+        self._assignment: Dict[str, int] = {}
+        self._requests: Dict[str, Request] = {}
+        self._loads = [0.0] * vnf.num_instances
+        self._arrivals_since_rebalance = 0
+        self.total_migrations = 0
+        self.history: List[OnlineSnapshot] = []
+        self._events = 0
+
+    # ------------------------------------------------------------------
+    # Events
+    # ------------------------------------------------------------------
+    def arrive(self, request: Request) -> int:
+        """Admit an arriving request; returns its instance index."""
+        if not request.uses(self._vnf.name):
+            raise SchedulingError(
+                f"request {request.request_id!r} does not use VNF "
+                f"{self._vnf.name!r}"
+            )
+        if request.request_id in self._requests:
+            raise SchedulingError(
+                f"request {request.request_id!r} already active"
+            )
+        # Join the least-loaded instance.
+        k = min(range(len(self._loads)), key=lambda i: (self._loads[i], i))
+        self._assignment[request.request_id] = k
+        self._requests[request.request_id] = request
+        self._loads[k] += request.effective_rate
+        self._arrivals_since_rebalance += 1
+        if (
+            self._rebalance_every
+            and self._arrivals_since_rebalance >= self._rebalance_every
+        ):
+            self.rebalance()
+            self._arrivals_since_rebalance = 0
+        self._snapshot()
+        return self._assignment[request.request_id]
+
+    def depart(self, request_id: str) -> None:
+        """Remove a finished request."""
+        request = self._requests.pop(request_id, None)
+        if request is None:
+            raise SchedulingError(f"request {request_id!r} is not active")
+        k = self._assignment.pop(request_id)
+        self._loads[k] -= request.effective_rate
+        self._snapshot()
+
+    def rebalance(self) -> int:
+        """Re-run RCKK over the active set; returns migrations performed."""
+        if not self._requests:
+            return 0
+        ids = sorted(self._requests)
+        rates = [self._requests[rid].effective_rate for rid in ids]
+        partition = rckk_partition(rates, self._vnf.num_instances)
+        # Map partition ways onto existing instances to minimize
+        # migrations: greedy match by overlap of current members.
+        new_assignment: Dict[str, int] = {}
+        for way, subset in enumerate(partition.subsets):
+            for idx in subset:
+                new_assignment[ids[idx]] = way
+        migrations = sum(
+            1
+            for rid in ids
+            if new_assignment[rid] != self._assignment[rid]
+        )
+        self._assignment = new_assignment
+        self._loads = [0.0] * self._vnf.num_instances
+        for rid, k in self._assignment.items():
+            self._loads[k] += self._requests[rid].effective_rate
+        self.total_migrations += migrations
+        self._snapshot()
+        return migrations
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def active_requests(self) -> int:
+        """Currently admitted requests."""
+        return len(self._requests)
+
+    def instance_rates(self) -> List[float]:
+        """Current per-instance aggregate effective rates."""
+        return list(self._loads)
+
+    def spread(self) -> float:
+        """Current max-min instance rate."""
+        return max(self._loads) - min(self._loads)
+
+    def assignment_of(self, request_id: str) -> int:
+        """Current instance of an active request."""
+        try:
+            return self._assignment[request_id]
+        except KeyError:
+            raise SchedulingError(
+                f"request {request_id!r} is not active"
+            ) from None
+
+    def _snapshot(self) -> None:
+        self._events += 1
+        self.history.append(
+            OnlineSnapshot(
+                event_index=self._events,
+                active_requests=len(self._requests),
+                instance_rates=tuple(self._loads),
+                migrations=self.total_migrations,
+            )
+        )

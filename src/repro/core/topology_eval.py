@@ -1,0 +1,92 @@
+"""Topology-aware evaluation of Eq. (16).
+
+:func:`evaluate_deployment` charges a flat constant ``L`` per inter-node
+hop, matching the paper's model.  When an actual fabric is available,
+the communication term can instead use the *measured* shortest-path
+latency between the nodes a chain traverses — this module provides that
+refinement, so consolidation quality can be judged against real path
+lengths (same-rack vs cross-fabric hops differ).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from repro.core.objectives import per_request_response_time
+from repro.exceptions import SchedulingError, ValidationError
+from repro.nfv.state import DeploymentState
+from repro.topology.graph import DatacenterTopology
+from repro.topology.routing import Router
+
+
+def request_path_latency(
+    state: DeploymentState,
+    router: Router,
+    request_id: str,
+) -> float:
+    """Total link latency of one request's node path over the fabric."""
+    return router.path_latency(
+        [str(n) for n in state.nodes_traversed(request_id)]
+    )
+
+
+def total_latency_on_topology(
+    state: DeploymentState,
+    topology: DatacenterTopology,
+) -> float:
+    """Eq. (16) with real shortest-path latencies instead of a flat ``L``.
+
+    Parameters
+    ----------
+    state:
+        A complete, validated deployment whose node keys are compute
+        nodes of ``topology``.
+    topology:
+        The fabric supplying link latencies.
+
+    Raises
+    ------
+    ValidationError
+        If a placement node is not a compute node of the topology.
+    """
+    caps = topology.capacities()
+    for node in state.nodes_in_service():
+        if str(node) not in caps:
+            raise ValidationError(
+                f"placement node {node!r} is not a compute node of "
+                f"{topology.name!r}"
+            )
+    router = Router(topology)
+    response = per_request_response_time(state)
+    total = 0.0
+    for request in state.requests:
+        w = response[request.request_id]
+        if math.isinf(w):
+            return math.inf
+        total += w + request_path_latency(state, router, request.request_id)
+    return total
+
+
+def average_total_latency_on_topology(
+    state: DeploymentState,
+    topology: DatacenterTopology,
+) -> float:
+    """Per-request mean of :func:`total_latency_on_topology`."""
+    if not state.requests:
+        raise SchedulingError("deployment has no requests")
+    return total_latency_on_topology(state, topology) / len(state.requests)
+
+
+def communication_breakdown(
+    state: DeploymentState,
+    topology: DatacenterTopology,
+) -> Dict[str, float]:
+    """Per-request link-latency totals over the fabric (diagnostics)."""
+    router = Router(topology)
+    return {
+        request.request_id: request_path_latency(
+            state, router, request.request_id
+        )
+        for request in state.requests
+    }

@@ -1,0 +1,66 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ValidationError(ReproError):
+    """A model object or problem instance violates one of its invariants.
+
+    Raised, for example, when a request references a VNF that does not
+    exist, when an arrival rate is non-positive, or when a delivery
+    probability falls outside ``(0, 1]``.
+    """
+
+
+class InfeasiblePlacementError(ReproError):
+    """No feasible placement exists for the given problem instance.
+
+    Raised when some VNF's total demand exceeds every node's capacity, or
+    when the aggregate demand exceeds the aggregate capacity so that no
+    assignment can satisfy Eq. (6) of the paper.
+    """
+
+
+class MaxRestartsExceededError(InfeasiblePlacementError):
+    """A randomized placement algorithm exhausted its restart budget.
+
+    BFDSU restarts from scratch ("go back to Begin") when its weighted
+    random choices paint it into an infeasible corner.  This error is
+    raised when the configured number of restarts is exceeded, which for a
+    feasible instance indicates an extremely unlucky random stream or a
+    near-infeasible instance.
+    """
+
+
+class UnstableQueueError(ReproError):
+    """An M/M/1 queue was asked for steady-state metrics with ``rho >= 1``.
+
+    The open Jackson network model only has a steady state when every
+    service instance satisfies ``Lambda < mu``.  Admission control
+    (:mod:`repro.core.admission`) exists precisely to avoid this state; the
+    analytic layer refuses to silently return negative or infinite values.
+    """
+
+
+class SchedulingError(ReproError):
+    """A request could not be mapped onto a service instance.
+
+    Raised when scheduling is attempted against a VNF with zero instances
+    or when an algorithm produces an assignment that violates Eq. (5).
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was configured or driven incorrectly."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment or workload configuration is inconsistent."""

@@ -1,0 +1,31 @@
+"""Experiment harness regenerating every figure of the paper's evaluation.
+
+One module per figure (see DESIGN.md's per-experiment index):
+
+========  =================================================================
+Module    Paper figure
+========  =================================================================
+fig05     Avg resource utilization of 10 nodes vs #requests
+fig06     Avg utilization of used nodes vs #VNFs (nodes co-scaled)
+fig07     Avg utilization vs #nodes available (15 VNFs)
+fig08     Avg #nodes in service vs #nodes available
+fig09     Total resource occupation vs #nodes available
+fig10     Algorithm iterations vs #requests
+fig11     Avg response time vs #requests (P=0.98)
+fig12     Avg response time vs #requests (P=1.00)
+fig13     Avg response time vs #instances (P=0.98)
+fig14     Avg response time vs #instances (P=1.00)
+fig15     Job rejection rate vs #requests (P=0.997)
+fig16     Job rejection rate vs #requests (P=0.984)
+tail      99th-percentile response time (Section V-C text)
+headline  The abstract's +33.4% utilization / -19.9% latency claims
+========  =================================================================
+
+Each module exposes ``run(repetitions=..., seed=...) -> ExperimentResult``
+and prints the paper-style table when executed as a script
+(``python -m repro.experiments.fig05``).  ``runall`` executes everything.
+"""
+
+from repro.experiments.harness import ExperimentResult
+
+__all__ = ["ExperimentResult"]

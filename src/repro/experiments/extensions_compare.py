@@ -1,0 +1,105 @@
+"""Extensions comparison — what the beyond-paper variants buy.
+
+Runs the placement variants this repo adds on top of BFDSU — the
+chain-affinity weighting, best-of-K restarts, and the Eq. (16) relocate
+local search — on shared workloads, reporting utilization, nodes in
+service, and the fraction of chain hops that cross nodes (the quantity
+Eq. (16) charges ``L`` for).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.local_search import refine_placement
+from repro.experiments.harness import ExperimentResult
+from repro.nfv.state import DeploymentState
+from repro.placement.base import PlacementProblem
+from repro.placement.best_of import BestOfKPlacement
+from repro.placement.bfdsu import BFDSUPlacement
+from repro.placement.chain_affinity import ChainAffinityBFDSU
+from repro.scheduling.base import schedule_all_vnfs
+from repro.scheduling.rckk import RCKKScheduler
+from repro.workload.generator import WorkloadGenerator
+
+
+def _cross_hop_fraction(state: DeploymentState) -> float:
+    crossing = 0
+    total = 0
+    for request in state.requests:
+        names = list(request.chain)
+        for a, b in zip(names[:-1], names[1:]):
+            total += 1
+            if state.placement[a] != state.placement[b]:
+                crossing += 1
+    return crossing / total if total else 0.0
+
+
+def run(repetitions: int = 10, seed: int = 20170622) -> ExperimentResult:
+    """Compare the placement variants on shared workloads."""
+    variants = ("BFDSU", "ChainAffinity", "BestOf5", "BFDSU+LocalSearch")
+    acc: Dict[str, Dict[str, List[float]]] = {
+        v: {"util": [], "nodes": [], "cross": []} for v in variants
+    }
+
+    for rep in range(repetitions):
+        gen = WorkloadGenerator(
+            np.random.default_rng(np.random.SeedSequence([seed, rep]))
+        )
+        w = gen.workload(num_vnfs=12, num_nodes=10, num_requests=60)
+        problem = PlacementProblem(
+            vnfs=w.vnfs, capacities=w.capacities, chains=w.chains
+        )
+        schedule = schedule_all_vnfs(w.vnfs, w.requests, RCKKScheduler())
+
+        def evaluate(name: str, placement_map) -> None:
+            state = DeploymentState(
+                vnfs=w.vnfs,
+                requests=w.requests,
+                node_capacities=w.capacities,
+                placement=dict(placement_map),
+                schedule=schedule,
+            )
+            if name == "BFDSU+LocalSearch":
+                refine_placement(state)
+            acc[name]["util"].append(state.average_node_utilization())
+            acc[name]["nodes"].append(state.total_nodes_in_service())
+            acc[name]["cross"].append(_cross_hop_fraction(state))
+
+        base = BFDSUPlacement(rng=np.random.default_rng(rep)).place(problem)
+        evaluate("BFDSU", base.placement)
+        evaluate("BFDSU+LocalSearch", base.placement)
+        affinity = ChainAffinityBFDSU(
+            rng=np.random.default_rng(rep), affinity_boost=8.0
+        ).place(problem)
+        evaluate("ChainAffinity", affinity.placement)
+        best = BestOfKPlacement(
+            lambda run, rng: BFDSUPlacement(rng=rng),
+            k=5,
+            rng=np.random.default_rng(rep),
+        ).place(problem)
+        evaluate("BestOf5", best.placement)
+
+    result = ExperimentResult(
+        experiment_id="extensions",
+        title="Beyond-paper placement variants on shared workloads",
+        columns=["variant", "utilization", "nodes", "cross_hop_fraction"],
+    )
+    for variant in variants:
+        result.add_row(
+            variant=variant,
+            utilization=float(np.mean(acc[variant]["util"])),
+            nodes=float(np.mean(acc[variant]["nodes"])),
+            cross_hop_fraction=float(np.mean(acc[variant]["cross"])),
+        )
+    result.notes.append(
+        "cross_hop_fraction: share of chain hops paying Eq. (16)'s L; "
+        "lower is better"
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run().print()

@@ -1,0 +1,52 @@
+"""Fig. 6 — average utilization of used nodes vs number of VNFs.
+
+Paper sweeps VNFs 6-30 with nodes co-scaled 4-20 while 1000 requests are
+served; BFDSU beats FFD by 31.61% and NAH by 33.41% on average.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.sweeps import DEFAULT_PLACEMENT_REPS, placement_sweep
+from repro.workload.scenarios import PlacementScenario
+
+#: (num_vnfs, num_nodes) pairs — nodes co-scale with VNFs as in the paper.
+SWEEP = ((6, 4), (12, 8), (18, 12), (24, 16), (30, 20))
+
+
+def run(
+    repetitions: int = DEFAULT_PLACEMENT_REPS, seed: int = 20170606
+) -> ExperimentResult:
+    """Regenerate Fig. 6's series."""
+    scenarios = [
+        (
+            num_vnfs,
+            PlacementScenario(
+                num_vnfs=num_vnfs,
+                num_nodes=num_nodes,
+                num_requests=1000,
+                seed=seed + num_vnfs,
+            ),
+        )
+        for num_vnfs, num_nodes in SWEEP
+    ]
+    rows = placement_sweep(scenarios, repetitions=repetitions, seed=seed)
+    result = ExperimentResult(
+        experiment_id="fig06",
+        title="Average utilization of used nodes vs #VNFs (1000 requests)",
+        columns=["vnfs", "algorithm", "utilization"],
+    )
+    for row in rows:
+        result.add_row(
+            vnfs=row["x"],
+            algorithm=row["algorithm"],
+            utilization=row["utilization"],
+        )
+    result.notes.append(
+        "paper: BFDSU +31.61% vs FFD and +33.41% vs NAH on average"
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run().print()

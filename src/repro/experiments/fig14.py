@@ -1,0 +1,33 @@
+"""Fig. 14 — average response time vs #instances, P = 1.00, 50 requests.
+
+Same sweep as Fig. 13 without loss; the paper's enhancement ratio runs
+3.16% to 18.53%, consistently below the lossy case.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig13 import run as _run_fig13
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.sweeps import DEFAULT_SCHEDULING_REPS
+
+
+def run(
+    repetitions: int = DEFAULT_SCHEDULING_REPS, seed: int = 20170614
+) -> ExperimentResult:
+    """Regenerate Fig. 14's series."""
+    result = _run_fig13(
+        repetitions=repetitions,
+        seed=seed,
+        delivery_probability=1.0,
+        experiment_id="fig14",
+    )
+    result.notes.clear()
+    result.notes.append(
+        "paper (P=1.00): enhancement widens 3.16% -> 18.53%, below the "
+        "P=0.98 curve of fig13"
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run().print()

@@ -1,0 +1,75 @@
+"""Fig. 15 — average job rejection rate vs #requests, P = 0.997.
+
+Paper's observation: under low packet loss RCKK maintains a near-zero
+rejection rate while CGA's is positive.  Rejection here is driven by
+schedule imbalance: the mu scaling pins the mean raw utilization at
+``RHO = 0.98``, so the effective utilization ``RHO / P`` leaves only a
+sliver of headroom that CGA's residual imbalance overruns.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.sweeps import (
+    DEFAULT_SCHEDULING_REPS,
+    scheduling_sweep,
+)
+from repro.workload.scenarios import SchedulingScenario
+
+#: The request sweep for the rejection figures.
+REQUEST_COUNTS: Tuple[int, ...] = (30, 50, 100, 150, 200)
+
+#: Raw-load utilization target: effective utilization is RHO / P.
+RHO = 0.98
+
+
+def run(
+    repetitions: int = DEFAULT_SCHEDULING_REPS,
+    seed: int = 20170615,
+    delivery_probability: float = 0.997,
+    experiment_id: str = "fig15",
+) -> ExperimentResult:
+    """Regenerate Fig. 15's series (or Fig. 16's via the P parameter)."""
+    scenarios = [
+        (
+            n,
+            SchedulingScenario(
+                num_requests=n,
+                num_instances=5,
+                delivery_probability=delivery_probability,
+                rho=RHO,
+                seed=seed + n,
+            ),
+        )
+        for n in REQUEST_COUNTS
+    ]
+    rows = scheduling_sweep(scenarios, repetitions=repetitions)
+    result = ExperimentResult(
+        experiment_id=experiment_id,
+        title=(
+            "Average job rejection rate vs #requests "
+            f"(P={delivery_probability}, 5 instances)"
+        ),
+        columns=["requests", "algorithm", "rejection_rate"],
+    )
+    for row in rows:
+        result.add_row(
+            requests=row["x"],
+            algorithm=row["algorithm"],
+            rejection_rate=row["rejection_rate"],
+        )
+    result.notes.append(
+        "paper (P=0.997): RCKK near zero throughout; CGA positive"
+    )
+    result.notes.append(
+        "deviation: the paper's CGA rejection *rises* with requests; with "
+        "a faithful least-loaded CGA the imbalance (hence rejection) "
+        "shrinks as requests grow — orderings preserved, trend reversed"
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run().print()

@@ -1,0 +1,97 @@
+"""Headline claims — the abstract's aggregate numbers.
+
+The paper's abstract claims, versus the state of the art:
+
+* average resource utilization improved by **33.4%** (BFDSU vs NAH;
+  31.6% vs FFD), and
+* average total latency reduced by **19.9%** (RCKK vs CGA, averaged over
+  the latency sweeps).
+
+This experiment recomputes both aggregates from the same sweeps the
+figure experiments use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import fig05, fig06, fig11, fig12, fig13, fig14
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.sweeps import (
+    DEFAULT_PLACEMENT_REPS,
+    DEFAULT_SCHEDULING_REPS,
+)
+
+
+def _mean_utilization(result: ExperimentResult, algorithm: str) -> float:
+    values = [
+        float(row["utilization"])
+        for row in result.rows
+        if row["algorithm"] == algorithm
+    ]
+    return float(np.mean(values))
+
+
+def _mean_enhancement(result: ExperimentResult) -> float:
+    values = [
+        float(row["enhancement"])
+        for row in result.rows
+        if row["algorithm"] == "RCKK"
+    ]
+    return float(np.mean(values))
+
+
+def run(
+    placement_repetitions: int = DEFAULT_PLACEMENT_REPS,
+    scheduling_repetitions: int = DEFAULT_SCHEDULING_REPS,
+    seed: int = 20170618,
+) -> ExperimentResult:
+    """Recompute the abstract's aggregate claims."""
+    util_results = [
+        fig05.run(repetitions=placement_repetitions, seed=seed),
+        fig06.run(repetitions=placement_repetitions, seed=seed + 1),
+    ]
+    bfdsu = float(np.mean([_mean_utilization(r, "BFDSU") for r in util_results]))
+    ffd = float(np.mean([_mean_utilization(r, "FFD") for r in util_results]))
+    nah = float(np.mean([_mean_utilization(r, "NAH") for r in util_results]))
+
+    latency_results = [
+        fig11.run(repetitions=scheduling_repetitions, seed=seed + 2),
+        fig12.run(repetitions=scheduling_repetitions, seed=seed + 3),
+        fig13.run(repetitions=scheduling_repetitions, seed=seed + 4),
+        fig14.run(repetitions=scheduling_repetitions, seed=seed + 5),
+    ]
+    latency_gain = float(
+        np.mean([_mean_enhancement(r) for r in latency_results])
+    )
+
+    result = ExperimentResult(
+        experiment_id="headline",
+        title="Abstract headline claims (aggregates over the sweeps)",
+        columns=["metric", "value", "paper"],
+    )
+    result.add_row(
+        metric="BFDSU avg utilization", value=bfdsu, paper="0.9176"
+    )
+    result.add_row(metric="FFD avg utilization", value=ffd, paper="0.6863")
+    result.add_row(metric="NAH avg utilization", value=nah, paper="0.6689")
+    result.add_row(
+        metric="utilization gain vs FFD",
+        value=(bfdsu - ffd) / ffd,
+        paper="0.3161",
+    )
+    result.add_row(
+        metric="utilization gain vs NAH",
+        value=(bfdsu - nah) / nah,
+        paper="0.3341",
+    )
+    result.add_row(
+        metric="avg latency reduction (RCKK vs CGA)",
+        value=latency_gain,
+        paper="0.199",
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run().print()

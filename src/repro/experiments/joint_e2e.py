@@ -1,0 +1,118 @@
+"""Joint end-to-end comparison — the coordinated objective of Eq. (16).
+
+Beyond the per-phase figures, the paper's headline couples the phases:
+placing with BFDSU reduces inter-node hops (fewer nodes in service) and
+scheduling with RCKK reduces instance response times, so the *total*
+latency of Eq. (16) — response plus link latency — improves end to end.
+
+This experiment runs three full pipelines on identical workloads:
+
+* BFDSU + RCKK (the paper's system),
+* FFD + CGA (the baseline composition),
+* NAH + CGA (the chain-aware baseline composition),
+
+and reports average node utilization, nodes in service, and Eq. (16)
+average total latency for each.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.joint import JointOptimizer
+from repro.experiments.harness import ExperimentResult
+from repro.placement.bfdsu import BFDSUPlacement
+from repro.placement.ffd import FFDPlacement
+from repro.placement.nah import NAHPlacement
+from repro.scheduling.cga import CGAScheduler
+from repro.scheduling.rckk import RCKKScheduler
+from repro.workload.generator import WorkloadGenerator
+
+#: Per-hop link latency (seconds) for Eq. (16) — intra-DC scale.
+LINK_LATENCY = 1e-4
+
+#: Workload shape shared by all pipelines.
+NUM_VNFS = 12
+NUM_NODES = 10
+NUM_REQUESTS = 80
+
+
+def _pipelines(seed: int) -> List[Tuple[str, JointOptimizer]]:
+    return [
+        (
+            "BFDSU+RCKK",
+            JointOptimizer(
+                placement=BFDSUPlacement(rng=np.random.default_rng(seed)),
+                scheduler=RCKKScheduler(),
+                link_latency=LINK_LATENCY,
+            ),
+        ),
+        (
+            "FFD+CGA",
+            JointOptimizer(
+                placement=FFDPlacement(),
+                scheduler=CGAScheduler(),
+                link_latency=LINK_LATENCY,
+            ),
+        ),
+        (
+            "NAH+CGA",
+            JointOptimizer(
+                placement=NAHPlacement(),
+                scheduler=CGAScheduler(),
+                link_latency=LINK_LATENCY,
+            ),
+        ),
+    ]
+
+
+def run(repetitions: int = 10, seed: int = 20170620) -> ExperimentResult:
+    """Run the three pipelines over shared Monte-Carlo workloads."""
+    accumulators = {
+        name: {"util": [], "nodes": [], "latency": []}
+        for name, _ in _pipelines(seed)
+    }
+    for rep in range(repetitions):
+        gen = WorkloadGenerator(
+            np.random.default_rng(np.random.SeedSequence([seed, rep]))
+        )
+        w = gen.workload(
+            num_vnfs=NUM_VNFS,
+            num_nodes=NUM_NODES,
+            num_requests=NUM_REQUESTS,
+            delivery_probability=0.99,
+        )
+        for name, optimizer in _pipelines(seed + rep):
+            solution = optimizer.optimize(w.vnfs, w.requests, w.capacities)
+            report = solution.evaluate()
+            accumulators[name]["util"].append(
+                report.average_node_utilization
+            )
+            accumulators[name]["nodes"].append(report.nodes_in_service)
+            accumulators[name]["latency"].append(
+                report.average_total_latency
+            )
+
+    result = ExperimentResult(
+        experiment_id="joint_e2e",
+        title="Joint pipelines on shared workloads (Eq. 16 total latency)",
+        columns=["pipeline", "utilization", "nodes", "avg_total_latency"],
+    )
+    for name, acc in accumulators.items():
+        result.add_row(
+            pipeline=name,
+            utilization=float(np.mean(acc["util"])),
+            nodes=float(np.mean(acc["nodes"])),
+            avg_total_latency=float(np.mean(acc["latency"])),
+        )
+    result.notes.append(
+        "paper abstract: the joint system improves utilization by 33.4% "
+        "and reduces average total latency by 19.9% vs the state of the art"
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run().print()

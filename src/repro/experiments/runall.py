@@ -1,0 +1,133 @@
+"""Run every experiment and print the paper-style report.
+
+Usage::
+
+    python -m repro.experiments.runall            # quick defaults
+    python -m repro.experiments.runall --paper    # paper-scale repetitions
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from repro.experiments import (
+    extensions_compare,
+    fig05,
+    fig06,
+    fig07,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    headline,
+    joint_e2e,
+    sensitivity,
+    tail,
+)
+from repro.experiments.harness import ExperimentResult
+
+#: All experiment modules in figure order (joint_e2e, sensitivity and
+#: extensions_compare are this repo's beyond-the-paper additions).
+ALL_MODULES = (
+    fig05,
+    fig06,
+    fig07,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    tail,
+    joint_e2e,
+    sensitivity,
+    extensions_compare,
+)
+
+
+def run_all(
+    placement_repetitions: int = 20,
+    scheduling_repetitions: int = 100,
+    tail_repetitions: int = 300,
+    include_headline: bool = True,
+) -> List[ExperimentResult]:
+    """Execute every experiment, returning the results in figure order."""
+    results: List[ExperimentResult] = []
+    for module in ALL_MODULES:
+        if module is tail:
+            results.append(module.run(repetitions=tail_repetitions))
+        elif module in (joint_e2e, extensions_compare):
+            results.append(module.run(repetitions=max(5, placement_repetitions // 2)))
+        elif module is sensitivity:
+            results.append(module.run())
+        elif module.__name__.rsplit(".", 1)[-1] in (
+            "fig05",
+            "fig06",
+            "fig07",
+            "fig08",
+            "fig09",
+            "fig10",
+        ):
+            results.append(module.run(repetitions=placement_repetitions))
+        else:
+            results.append(module.run(repetitions=scheduling_repetitions))
+    if include_headline:
+        results.append(
+            headline.run(
+                placement_repetitions=placement_repetitions,
+                scheduling_repetitions=scheduling_repetitions,
+            )
+        )
+    return results
+
+
+def main(argv: List[str] = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--paper",
+        action="store_true",
+        help="use paper-scale Monte-Carlo repetitions (1000 runs; slow)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="also write all results as a JSON document to PATH",
+    )
+    args = parser.parse_args(argv)
+    if args.paper:
+        results = run_all(
+            placement_repetitions=200,
+            scheduling_repetitions=1000,
+            tail_repetitions=1000,
+        )
+    else:
+        results = run_all()
+    for result in results:
+        print(result.render())
+        print()
+    if args.json:
+        import json
+        from pathlib import Path
+
+        document = {
+            "kind": "experiment_results",
+            "results": [r.to_dict() for r in results],
+        }
+        Path(args.json).write_text(json.dumps(document, indent=2))
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

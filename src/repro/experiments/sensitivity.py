@@ -1,0 +1,122 @@
+"""Model-sensitivity experiment — where the Jackson assumptions bend.
+
+The paper's analytics assume Poisson arrivals and exponential service.
+This beyond-paper experiment quantifies the error of those assumptions
+on the operating points the evaluation uses:
+
+* **Service variability** (analytic): Pollaczek-Khinchine M/G/1 latency
+  across squared service CVs, relative to the exponential (cs2=1) model
+  the optimizer reasons with.
+* **Arrival burstiness** (simulated): an MMPP/M/1 instance at the same
+  mean rate, measured against the M/M/1 closed form, across burstiness
+  indices.
+
+The output bounds how far reported latencies can drift when real
+traffic violates the model — the honest error bars around every latency
+figure in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.experiments.harness import ExperimentResult
+from repro.queueing.mg1 import MG1Queue
+from repro.queueing.mm1 import MM1Queue
+from repro.sim.engine import SimulationEngine
+from repro.sim.entities import SimServer, TraceSource
+from repro.workload.mmpp import MMPP2
+
+#: Operating load for the sensitivity sweeps.
+RHO = 0.8
+
+#: Squared service-time CVs: deterministic .. exponential .. heavy.
+SERVICE_CV2S: Tuple[float, ...] = (0.0, 0.25, 0.5, 1.0, 2.0, 4.0)
+
+#: MMPP high/low rate ratios to sweep (1 = plain Poisson).
+BURST_RATIOS: Tuple[float, ...] = (1.0, 2.0, 4.0, 8.0)
+
+
+def _service_rows(result: ExperimentResult) -> None:
+    mu = 100.0
+    lam = RHO * mu
+    mm1_w = MM1Queue(lam, mu).mean_response_time
+    for cv2 in SERVICE_CV2S:
+        w = MG1Queue(lam, mu, service_cv2=cv2).mean_response_time
+        result.add_row(
+            dimension="service_cv2",
+            value=cv2,
+            latency=w,
+            model_error=(mm1_w - w) / w,
+        )
+
+
+def _burstiness_rows(
+    result: ExperimentResult, horizon: float, seed: int
+) -> None:
+    mean_rate = 40.0
+    mu = mean_rate / RHO
+    analytic = MM1Queue(mean_rate, mu).mean_response_time
+    for ratio in BURST_RATIOS:
+        if ratio == 1.0:
+            from repro.workload.traces import poisson_arrival_times
+
+            trace = poisson_arrival_times(
+                mean_rate, horizon, np.random.default_rng(seed)
+            )
+        else:
+            # Solve for high/low rates with the target ratio and the
+            # same mean, spending half the time in each state.
+            high = 2.0 * mean_rate * ratio / (ratio + 1.0)
+            low = high / ratio
+            mmpp = MMPP2(
+                rate_high=high,
+                rate_low=low,
+                switch_to_low=0.5,
+                switch_to_high=0.5,
+            )
+            trace = mmpp.sample_arrival_times(
+                horizon, np.random.default_rng(seed)
+            )
+        engine = SimulationEngine()
+        server = SimServer(
+            engine=engine,
+            service_rate=mu,
+            rng=np.random.default_rng(seed + 1),
+            on_departure=lambda p, s: None,
+        )
+        TraceSource(engine, "r0", trace, server.enqueue).start()
+        engine.run(until=horizon)
+        measured = server.mean_sojourn()
+        result.add_row(
+            dimension="burst_ratio",
+            value=ratio,
+            latency=measured,
+            model_error=(analytic - measured) / measured,
+        )
+
+
+def run(horizon: float = 1500.0, seed: int = 20170621) -> ExperimentResult:
+    """Run both sensitivity sweeps."""
+    result = ExperimentResult(
+        experiment_id="sensitivity",
+        title="Model sensitivity: service variability and arrival burstiness",
+        columns=["dimension", "value", "latency", "model_error"],
+    )
+    _service_rows(result)
+    _burstiness_rows(result, horizon, seed)
+    result.notes.append(
+        "model_error = (W_assumed - W_actual) / W_actual; positive means "
+        "the M/M/1 assumption over-estimates, negative under-estimates"
+    )
+    result.notes.append(
+        "at cs2=1 and burst_ratio=1 the error is ~0 by construction — "
+        "those rows validate the harness itself"
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run().print()

@@ -1,0 +1,205 @@
+"""Reusable sweep drivers for the placement and scheduling experiments.
+
+The twelve figure modules differ only in which axis they sweep and which
+metric column they report; the two drivers here do the Monte-Carlo work:
+
+* :func:`placement_sweep` — run each placement algorithm over the
+  instances of a :class:`~repro.workload.scenarios.PlacementScenario`
+  per sweep point, averaging the Figs. 5-10 metrics.
+* :func:`scheduling_sweep` — ditto for scheduling algorithms over
+  :class:`~repro.workload.scenarios.SchedulingScenario` instances,
+  producing the Figs. 11-16 metrics (mean/percentile response time,
+  rejection rate, enhancement ratios).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.stats import percentile
+from repro.placement.base import PlacementAlgorithm
+from repro.placement.bfdsu import BFDSUPlacement
+from repro.placement.ffd import FFDPlacement
+from repro.placement.nah import NAHPlacement
+from repro.scheduling.base import SchedulingAlgorithm
+from repro.scheduling.cga import CGAScheduler
+from repro.scheduling.metrics import schedule_report
+from repro.scheduling.rckk import RCKKScheduler
+from repro.workload.scenarios import PlacementScenario, SchedulingScenario
+
+#: Default Monte-Carlo repetitions.  The paper uses 1000; the default
+#: here keeps a full ``runall`` under a minute — pass ``repetitions`` to
+#: match the paper exactly.
+DEFAULT_PLACEMENT_REPS = 20
+DEFAULT_SCHEDULING_REPS = 100
+
+
+def default_placement_algorithms(seed: int) -> List[PlacementAlgorithm]:
+    """The paper's three placement contenders, BFDSU seeded."""
+    return [
+        BFDSUPlacement(rng=np.random.default_rng(seed)),
+        FFDPlacement(),
+        NAHPlacement(),
+    ]
+
+
+def default_scheduling_algorithms() -> List[SchedulingAlgorithm]:
+    """The paper's two scheduling contenders."""
+    return [RCKKScheduler(), CGAScheduler()]
+
+
+def placement_sweep(
+    scenarios: Sequence[Tuple[object, PlacementScenario]],
+    repetitions: int = DEFAULT_PLACEMENT_REPS,
+    seed: int = 0,
+    algorithms: Optional[Sequence[PlacementAlgorithm]] = None,
+) -> List[Dict[str, object]]:
+    """Run placement algorithms over scenario sweep points.
+
+    Parameters
+    ----------
+    scenarios:
+        ``(x_value, scenario)`` pairs — one per sweep point.
+    repetitions:
+        Monte-Carlo instances per point.
+    seed:
+        Seed for the randomized algorithms.
+    algorithms:
+        Contenders; defaults to BFDSU/FFD/NAH.
+
+    Returns
+    -------
+    list of dict
+        One row per (sweep point, algorithm) with keys ``x``,
+        ``algorithm``, ``utilization``, ``nodes_in_service``,
+        ``occupation``, ``iterations``.
+    """
+    algos = (
+        list(algorithms)
+        if algorithms is not None
+        else default_placement_algorithms(seed)
+    )
+    rows: List[Dict[str, object]] = []
+    for x_value, scenario in scenarios:
+        per_algo: Dict[str, Dict[str, List[float]]] = {
+            a.name: {"u": [], "n": [], "o": [], "i": []} for a in algos
+        }
+        for rep in range(repetitions):
+            problem = scenario.build(rep)
+            for algo in algos:
+                result = algo.place(problem)
+                acc = per_algo[algo.name]
+                acc["u"].append(result.average_utilization)
+                acc["n"].append(result.num_used_nodes)
+                acc["o"].append(result.total_occupied_capacity)
+                acc["i"].append(result.iterations)
+        for algo in algos:
+            acc = per_algo[algo.name]
+            rows.append(
+                {
+                    "x": x_value,
+                    "algorithm": algo.name,
+                    "utilization": float(np.mean(acc["u"])),
+                    "nodes_in_service": float(np.mean(acc["n"])),
+                    "occupation": float(np.mean(acc["o"])),
+                    "iterations": float(np.mean(acc["i"])),
+                }
+            )
+    return rows
+
+
+def scheduling_sweep(
+    scenarios: Sequence[Tuple[object, SchedulingScenario]],
+    repetitions: int = DEFAULT_SCHEDULING_REPS,
+    algorithms: Optional[Sequence[SchedulingAlgorithm]] = None,
+    apply_admission: bool = True,
+    adaptive_precision: Optional[float] = None,
+) -> List[Dict[str, object]]:
+    """Run scheduling algorithms over scenario sweep points.
+
+    Parameters
+    ----------
+    adaptive_precision:
+        When set (e.g. ``0.02`` for +/-2%), each sweep point stops early
+        once every algorithm's running mean ``W`` has converged to that
+        relative precision (95% CI), with ``repetitions`` as the hard
+        cap — the sequential stopping rule of
+        :class:`repro.analysis.convergence.ConvergenceTracker`.
+
+    Returns
+    -------
+    list of dict
+        One row per (sweep point, algorithm) with keys ``x``,
+        ``algorithm``, ``mean_w`` (average response time), ``p99_w``
+        (99th percentile over repetitions), ``rejection_rate``.
+    """
+    algos = (
+        list(algorithms)
+        if algorithms is not None
+        else default_scheduling_algorithms()
+    )
+    rows: List[Dict[str, object]] = []
+    for x_value, scenario in scenarios:
+        per_algo: Dict[str, Dict[str, List[float]]] = {
+            a.name: {"w": [], "rej": []} for a in algos
+        }
+        trackers = None
+        if adaptive_precision is not None:
+            from repro.analysis.convergence import ConvergenceTracker
+
+            trackers = {
+                a.name: ConvergenceTracker(
+                    relative_precision=adaptive_precision, min_samples=20
+                )
+                for a in algos
+            }
+        for rep in range(repetitions):
+            problem = scenario.build(rep)
+            for algo in algos:
+                report = schedule_report(
+                    algo.schedule(problem), apply_admission=apply_admission
+                )
+                per_algo[algo.name]["w"].append(report.average_response_time)
+                per_algo[algo.name]["rej"].append(report.rejection_rate)
+                if trackers is not None:
+                    trackers[algo.name].add(report.average_response_time)
+            if trackers is not None and all(
+                t.converged() for t in trackers.values()
+            ):
+                break
+        for algo in algos:
+            w_samples = per_algo[algo.name]["w"]
+            rows.append(
+                {
+                    "x": x_value,
+                    "algorithm": algo.name,
+                    "mean_w": float(np.mean(w_samples)),
+                    "p99_w": percentile(w_samples, 99),
+                    "rejection_rate": float(
+                        np.mean(per_algo[algo.name]["rej"])
+                    ),
+                }
+            )
+    return rows
+
+
+def enhancement_column(
+    rows: Sequence[Dict[str, object]],
+    metric: str,
+    baseline: str = "CGA",
+    improved: str = "RCKK",
+) -> Dict[object, float]:
+    """Per-sweep-point ``(baseline - improved) / baseline`` for a metric."""
+    by_x: Dict[object, Dict[str, float]] = {}
+    for row in rows:
+        by_x.setdefault(row["x"], {})[str(row["algorithm"])] = float(row[metric])  # type: ignore[arg-type]
+    out: Dict[object, float] = {}
+    for x_value, metrics in by_x.items():
+        base = metrics.get(baseline)
+        imp = metrics.get(improved)
+        if base is None or imp is None or base == 0.0:
+            continue
+        out[x_value] = (base - imp) / base
+    return out

@@ -1,0 +1,75 @@
+"""Tail statistics — 99th-percentile response time (Section V-C text).
+
+Paper's observation: sweeping requests 10-200 onto 5 instances at
+P=0.98, RCKK reduces the 99th-percentile response time by 44.54% (few
+requests) down to 5.18% (many); at 50 requests the tails are 1.23 (RCKK)
+vs 1.60 (CGA), a 23.17% reduction.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.sweeps import (
+    enhancement_column,
+    scheduling_sweep,
+)
+from repro.workload.scenarios import SchedulingScenario
+
+#: The paper's tail-statistics sweep.
+REQUEST_COUNTS: Tuple[int, ...] = (10, 25, 50, 100, 200)
+
+#: Raw-load utilization target (same regime as Figs. 11-12).
+RHO = 0.8
+
+#: The paper uses 1000 Monte-Carlo runs for the 99th percentile; fewer
+#: runs make the percentile itself noisy, so the default here is higher
+#: than for the mean-value experiments.
+DEFAULT_TAIL_REPS = 300
+
+
+def run(
+    repetitions: int = DEFAULT_TAIL_REPS, seed: int = 20170617
+) -> ExperimentResult:
+    """Regenerate the 99th-percentile comparison."""
+    scenarios = [
+        (
+            n,
+            SchedulingScenario(
+                num_requests=n,
+                num_instances=5,
+                delivery_probability=0.98,
+                rho=RHO,
+                seed=seed + n,
+            ),
+        )
+        for n in REQUEST_COUNTS
+    ]
+    rows = scheduling_sweep(scenarios, repetitions=repetitions)
+    enhancement = enhancement_column(rows, "p99_w")
+    result = ExperimentResult(
+        experiment_id="tail",
+        title="99th-percentile response time vs #requests (P=0.98)",
+        columns=["requests", "algorithm", "p99_w", "enhancement"],
+    )
+    for row in rows:
+        result.add_row(
+            requests=row["x"],
+            algorithm=row["algorithm"],
+            p99_w=row["p99_w"],
+            enhancement=(
+                enhancement.get(row["x"], 0.0)
+                if row["algorithm"] == "RCKK"
+                else 0.0
+            ),
+        )
+    result.notes.append(
+        "paper: tail reduction 44.54% -> 5.18% over the sweep; 23.17% at "
+        "50 requests"
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run().print()

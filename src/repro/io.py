@@ -1,0 +1,173 @@
+"""JSON serialization for workloads and joint solutions.
+
+Experiments worth publishing need their inputs and outputs on disk:
+this module round-trips the domain objects through plain-JSON dicts —
+no pickling, no code execution on load, stable across versions.
+
+* :func:`workload_to_dict` / :func:`workload_from_dict`
+* :func:`state_to_dict` / :func:`state_from_dict`
+* :func:`save_json` / :func:`load_json` — thin file helpers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.exceptions import ValidationError
+from repro.nfv.chain import ServiceChain
+from repro.nfv.request import Request
+from repro.nfv.state import DeploymentState
+from repro.nfv.vnf import VNF, VNFCategory
+from repro.workload.generator import GeneratedWorkload
+
+#: Format marker written into every document for forward compatibility.
+FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# VNFs / requests
+# ----------------------------------------------------------------------
+def vnf_to_dict(vnf: VNF) -> Dict[str, Any]:
+    """Serialize one VNF."""
+    return {
+        "name": vnf.name,
+        "demand_per_instance": vnf.demand_per_instance,
+        "num_instances": vnf.num_instances,
+        "service_rate": vnf.service_rate,
+        "category": vnf.category.value,
+    }
+
+
+def vnf_from_dict(data: Dict[str, Any]) -> VNF:
+    """Deserialize one VNF."""
+    try:
+        return VNF(
+            name=data["name"],
+            demand_per_instance=float(data["demand_per_instance"]),
+            num_instances=int(data["num_instances"]),
+            service_rate=float(data["service_rate"]),
+            category=VNFCategory(data.get("category", "other")),
+        )
+    except KeyError as exc:
+        raise ValidationError(f"VNF document missing field {exc}") from exc
+
+
+def request_to_dict(request: Request) -> Dict[str, Any]:
+    """Serialize one request."""
+    return {
+        "request_id": request.request_id,
+        "chain": list(request.chain.vnf_names),
+        "arrival_rate": request.arrival_rate,
+        "delivery_probability": request.delivery_probability,
+    }
+
+
+def request_from_dict(data: Dict[str, Any]) -> Request:
+    """Deserialize one request."""
+    try:
+        return Request(
+            request_id=data["request_id"],
+            chain=ServiceChain(data["chain"]),
+            arrival_rate=float(data["arrival_rate"]),
+            delivery_probability=float(data.get("delivery_probability", 1.0)),
+        )
+    except KeyError as exc:
+        raise ValidationError(f"request document missing field {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# Workloads
+# ----------------------------------------------------------------------
+def workload_to_dict(workload: GeneratedWorkload) -> Dict[str, Any]:
+    """Serialize a complete workload."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": "workload",
+        "vnfs": [vnf_to_dict(f) for f in workload.vnfs],
+        "chains": [list(c.vnf_names) for c in workload.chains],
+        "requests": [request_to_dict(r) for r in workload.requests],
+        "capacities": dict(workload.capacities),
+    }
+
+
+def workload_from_dict(data: Dict[str, Any]) -> GeneratedWorkload:
+    """Deserialize a complete workload."""
+    _check_kind(data, "workload")
+    return GeneratedWorkload(
+        vnfs=[vnf_from_dict(d) for d in data["vnfs"]],
+        chains=[ServiceChain(names) for names in data["chains"]],
+        requests=[request_from_dict(d) for d in data["requests"]],
+        capacities={k: float(v) for k, v in data["capacities"].items()},
+    )
+
+
+# ----------------------------------------------------------------------
+# Deployment states
+# ----------------------------------------------------------------------
+def state_to_dict(state: DeploymentState) -> Dict[str, Any]:
+    """Serialize a joint deployment (placement + schedule)."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": "deployment",
+        "vnfs": [vnf_to_dict(f) for f in state.vnfs],
+        "requests": [request_to_dict(r) for r in state.requests],
+        "capacities": {
+            str(k): float(v) for k, v in state.node_capacities.items()
+        },
+        "placement": {k: str(v) for k, v in state.placement.items()},
+        "schedule": [
+            {"request": rid, "vnf": vnf_name, "instance": k}
+            for (rid, vnf_name), k in sorted(state.schedule.items())
+        ],
+    }
+
+
+def state_from_dict(data: Dict[str, Any]) -> DeploymentState:
+    """Deserialize a joint deployment and structurally validate it."""
+    _check_kind(data, "deployment")
+    state = DeploymentState(
+        vnfs=[vnf_from_dict(d) for d in data["vnfs"]],
+        requests=[request_from_dict(d) for d in data["requests"]],
+        node_capacities={
+            k: float(v) for k, v in data["capacities"].items()
+        },
+        placement=dict(data["placement"]),
+        schedule={
+            (entry["request"], entry["vnf"]): int(entry["instance"])
+            for entry in data["schedule"]
+        },
+    )
+    state.validate()
+    return state
+
+
+# ----------------------------------------------------------------------
+# Files
+# ----------------------------------------------------------------------
+def save_json(document: Dict[str, Any], path: Union[str, Path]) -> None:
+    """Write a serialized document to ``path`` (pretty-printed)."""
+    Path(path).write_text(json.dumps(document, indent=2, sort_keys=True))
+
+
+def load_json(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read a serialized document from ``path``."""
+    try:
+        return json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"{path} is not valid JSON: {exc}") from exc
+
+
+def _check_kind(data: Dict[str, Any], expected: str) -> None:
+    kind = data.get("kind")
+    if kind != expected:
+        raise ValidationError(
+            f"expected a {expected!r} document, got kind={kind!r}"
+        )
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValidationError(
+            f"unsupported format version {version!r} "
+            f"(this build reads {FORMAT_VERSION})"
+        )

@@ -1,0 +1,30 @@
+"""NFV domain model: VNFs, service chains, requests and deployment state.
+
+This package encodes the paper's Section III model objects:
+
+* :class:`~repro.nfv.vnf.VNF` — a network function with per-instance
+  demand ``D_f``, instance count ``M_f`` and service rate ``mu_f``.
+* :class:`~repro.nfv.chain.ServiceChain` — an ordered VNF sequence.
+* :class:`~repro.nfv.request.Request` — a Poisson request with rate
+  ``lambda_r``, delivery probability ``P_r`` and a chain to traverse.
+* :class:`~repro.nfv.instance.ServiceInstance` — one of the ``M_f``
+  M/M/1 servers of a VNF, with the requests scheduled onto it.
+* :class:`~repro.nfv.state.DeploymentState` — the joint assignment
+  (placement ``x``/``y`` + schedule ``z``/``eta``) with validation of the
+  paper's constraints, Eqs. (1)-(7).
+"""
+
+from repro.nfv.chain import ServiceChain
+from repro.nfv.instance import ServiceInstance
+from repro.nfv.request import Request
+from repro.nfv.state import DeploymentState
+from repro.nfv.vnf import VNF, VNFCategory
+
+__all__ = [
+    "VNF",
+    "VNFCategory",
+    "ServiceChain",
+    "Request",
+    "ServiceInstance",
+    "DeploymentState",
+]

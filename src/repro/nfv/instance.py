@@ -1,0 +1,114 @@
+"""Service instances — the M/M/1 servers a VNF deploys.
+
+A :class:`ServiceInstance` identifies one of the ``M_f`` instances of a
+VNF and aggregates the requests scheduled onto it.  It exposes the
+queueing quantities of Eqs. (7)-(12): the equivalent total arrival rate
+``Lambda_k^f``, utilization ``rho_k^f``, mean packet count ``N(f,k)`` and
+mean response latency ``W(f,k)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.exceptions import SchedulingError, ValidationError
+from repro.nfv.request import Request
+from repro.nfv.vnf import VNF
+from repro.queueing.mm1 import MM1Queue
+
+
+@dataclass
+class ServiceInstance:
+    """The ``k``-th service instance of a VNF with its scheduled requests.
+
+    Parameters
+    ----------
+    vnf:
+        The owning :class:`VNF` (supplies ``mu_f``).
+    index:
+        Instance index ``k`` in ``[0, M_f)``.
+    """
+
+    vnf: VNF
+    index: int
+    requests: List[Request] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index < self.vnf.num_instances:
+            raise ValidationError(
+                f"instance index {self.index} out of range "
+                f"[0, {self.vnf.num_instances}) for VNF {self.vnf.name!r}"
+            )
+
+    @property
+    def key(self) -> tuple:
+        """Stable identifier ``(vnf_name, k)``."""
+        return (self.vnf.name, self.index)
+
+    def assign(self, request: Request) -> None:
+        """Schedule ``request`` onto this instance (sets ``z_{r,k}^f = 1``).
+
+        Raises
+        ------
+        SchedulingError
+            If the request's chain does not use this VNF or the request is
+            already assigned here.
+        """
+        if not request.uses(self.vnf.name):
+            raise SchedulingError(
+                f"request {request.request_id!r} does not use VNF "
+                f"{self.vnf.name!r}; cannot schedule it here"
+            )
+        if any(r.request_id == request.request_id for r in self.requests):
+            raise SchedulingError(
+                f"request {request.request_id!r} already scheduled on "
+                f"instance {self.key!r}"
+            )
+        self.requests.append(request)
+
+    @property
+    def external_arrival_rate(self) -> float:
+        """Sum of raw request rates, ``sum_r lambda_r z_{r,k}^f``."""
+        return sum(r.arrival_rate for r in self.requests)
+
+    @property
+    def equivalent_arrival_rate(self) -> float:
+        """``Lambda_k^f = sum_r (lambda_r / P_r) z_{r,k}^f`` (Eq. 7)."""
+        return sum(r.effective_rate for r in self.requests)
+
+    @property
+    def utilization(self) -> float:
+        """``rho_k^f = Lambda_k^f / mu_f`` (Eq. 9)."""
+        return self.equivalent_arrival_rate / self.vnf.service_rate
+
+    @property
+    def is_stable(self) -> bool:
+        """Whether the instance is under capacity (``rho < 1``)."""
+        return self.utilization < 1.0
+
+    def queue(self) -> MM1Queue:
+        """The M/M/1 model of this instance at the current load."""
+        return MM1Queue(
+            arrival_rate=self.equivalent_arrival_rate,
+            service_rate=self.vnf.service_rate,
+        )
+
+    @property
+    def mean_number_in_system(self) -> float:
+        """``N(f,k) = rho / (1 - rho)`` (Eq. 10)."""
+        return self.queue().mean_number_in_system
+
+    @property
+    def mean_response_time(self) -> float:
+        """``W(f,k)`` of Eq. (11): mean packets over *raw* arrival rate.
+
+        With a uniform delivery probability this reduces to Eq. (12),
+        ``1 / (P mu_f - sum_r lambda_r)``.
+        """
+        external = self.external_arrival_rate
+        if external <= 0.0:
+            raise SchedulingError(
+                f"instance {self.key!r} serves no requests; W(f,k) undefined"
+            )
+        return self.mean_number_in_system / external

@@ -1,0 +1,25 @@
+"""Exact multi-way partitioning for small instances.
+
+Used by tests and optimality studies to measure heuristic gaps:
+``heuristic_makespan / exact_makespan``.  Implemented as CGA run to
+exhaustion, which is optimal because the search enumerates every
+assignment modulo way-symmetry with only makespan-safe pruning.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.partition.base import PartitionResult
+from repro.partition.cga import optimal_partition_cga
+
+
+def exact_partition(values: Sequence[float], num_ways: int) -> PartitionResult:
+    """Return a minimum-makespan partition (exponential time, small n only).
+
+    Raises
+    ------
+    ValidationError
+        If the instance is too large (n > 28) to solve exactly.
+    """
+    return optimal_partition_cga(values, num_ways)

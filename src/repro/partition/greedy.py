@@ -1,0 +1,47 @@
+"""Greedy (LPT) multi-way partitioning.
+
+Sort values in decreasing order and assign each to the way with the
+currently smallest sum.  This is the first solution found by Korf's
+Complete Greedy Algorithm and the scheduling analogue of longest
+processing time (LPT) list scheduling.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Sequence
+
+from repro.partition.base import PartitionResult, validate_instance
+
+
+def greedy_partition(values: Sequence[float], num_ways: int) -> PartitionResult:
+    """Partition ``values`` into ``num_ways`` subsets with the LPT rule.
+
+    Parameters
+    ----------
+    values:
+        Non-negative numbers to partition (e.g. request arrival rates).
+    num_ways:
+        Number of subsets ``m >= 1`` (e.g. service instances).
+
+    Returns
+    -------
+    PartitionResult
+        ``iterations`` counts one unit per placed value.
+    """
+    validate_instance(values, num_ways)
+    order = sorted(range(len(values)), key=lambda i: -values[i])
+    subsets = [[] for _ in range(num_ways)]
+    # Heap of (current sum, way index); ties resolved by way index for
+    # determinism.
+    heap = [(0.0, way) for way in range(num_ways)]
+    heapq.heapify(heap)
+    iterations = 0
+    for idx in order:
+        iterations += 1
+        current, way = heapq.heappop(heap)
+        subsets[way].append(idx)
+        heapq.heappush(heap, (current + values[idx], way))
+    return PartitionResult(
+        subsets=subsets, values=list(values), iterations=iterations
+    )

@@ -1,0 +1,209 @@
+"""Karmarkar-Karp set differencing: two-way, complete two-way, multi-way.
+
+The KK heuristic repeatedly replaces the two largest numbers by their
+difference — committing to "these two end up in different subsets" without
+deciding which.  The complete version (CKK) also branches on replacing
+them by their *sum* ("same subset"), yielding an optimal anytime search.
+
+The multi-way generalization represents each number as an ``m``-tuple
+``(v, 0, .., 0)`` and combines the two tuples with the largest leading
+values by adding them *in reverse order* (largest way of one with the
+smallest way of the other), then renormalizes.  The paper's RCKK
+(:mod:`repro.partition.rckk`) is exactly this one-pass multi-way
+differencing with provenance tracking.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import List, Optional, Sequence, Tuple
+
+from repro.exceptions import ValidationError
+from repro.partition.base import PartitionResult, TuplePartition, validate_instance
+
+
+def karmarkar_karp_two_way(values: Sequence[float]) -> PartitionResult:
+    """Two-way KK differencing with subset reconstruction.
+
+    Returns the partition implied by the differencing tree; ``spread``
+    equals the final residual difference.
+    """
+    validate_instance(values, 2)
+    if not values:
+        return PartitionResult(subsets=[[], []], values=[], iterations=0)
+    # Heap entries: (-value, tiebreak, left_indices, right_indices), where
+    # left holds indices on the "larger" side of this residual.
+    counter = itertools.count()
+    heap: List[Tuple[float, int, tuple, tuple]] = [
+        (-v, next(counter), (i,), ()) for i, v in enumerate(values)
+    ]
+    heapq.heapify(heap)
+    iterations = 0
+    while len(heap) > 1:
+        iterations += 1
+        neg_a, _, a_left, a_right = heapq.heappop(heap)
+        neg_b, _, b_left, b_right = heapq.heappop(heap)
+        # Difference: the two residuals go to opposite sides.
+        diff = (-neg_a) - (-neg_b)
+        heapq.heappush(
+            heap, (-diff, next(counter), a_left + b_right, a_right + b_left)
+        )
+    _, _, left, right = heap[0]
+    result = PartitionResult(
+        subsets=[list(left), list(right)],
+        values=list(values),
+        iterations=iterations,
+    )
+    result.validate()
+    return result
+
+
+def ckk_two_way(
+    values: Sequence[float], max_nodes: Optional[int] = None
+) -> PartitionResult:
+    """Complete Karmarkar-Karp for two-way partitioning.
+
+    Branch-and-bound over difference/sum decisions; run to exhaustion
+    (``max_nodes=None`` or ``<= 0``) it returns an optimal partition.
+    First leaf is exactly the KK solution, so it is a proper anytime
+    algorithm under a node budget.
+    """
+    validate_instance(values, 2)
+    if not values:
+        return PartitionResult(subsets=[[], []], values=[], iterations=0)
+    unlimited = max_nodes is None or max_nodes <= 0
+    budget = max_nodes if not unlimited else 0
+
+    best_spread = float("inf")
+    best_sides: Optional[Tuple[tuple, tuple]] = None
+    nodes = 0
+
+    # State: sorted list of (value, left_indices, right_indices), descending.
+    initial = sorted(
+        ((v, (i,), ()) for i, v in enumerate(values)), key=lambda e: -e[0]
+    )
+
+    def search(entries: List[tuple]) -> bool:
+        nonlocal best_spread, best_sides, nodes
+        nodes += 1
+        if not unlimited and nodes > budget:
+            return True
+        if len(entries) == 1:
+            value, left, right = entries[0]
+            if value < best_spread:
+                best_spread = value
+                best_sides = (left, right)
+            return False
+        first, second = entries[0], entries[1]
+        rest = entries[2:]
+        remaining_sum = first[0] + second[0] + sum(e[0] for e in rest)
+        # Prune: the final difference is at least 2*largest - total.
+        if 2.0 * first[0] - remaining_sum >= best_spread:
+            # Only the "difference" child can reduce the leading value.
+            pass
+        # Child 1: difference (opposite sides).
+        diff_entry = (
+            first[0] - second[0],
+            first[1] + second[2],
+            first[2] + second[1],
+        )
+        child = sorted(rest + [diff_entry], key=lambda e: -e[0])
+        if search(child):
+            return True
+        if best_spread <= 1e-12:
+            return True
+        # Child 2: sum (same side).
+        sum_entry = (
+            first[0] + second[0],
+            first[1] + second[1],
+            first[2] + second[2],
+        )
+        # Prune: putting both on one side only helps if that side's
+        # eventual residual can still beat the incumbent.
+        if sum_entry[0] - (remaining_sum - sum_entry[0]) < best_spread:
+            child = sorted(rest + [sum_entry], key=lambda e: -e[0])
+            if search(child):
+                return True
+        return False
+
+    search(initial)
+    if best_sides is None:
+        # Budget exhausted before any leaf: fall back to the plain KK
+        # heuristic so callers always get a valid anytime answer.
+        fallback = karmarkar_karp_two_way(values)
+        fallback.iterations += nodes
+        return fallback
+    left, right = best_sides
+    result = PartitionResult(
+        subsets=[list(left), list(right)],
+        values=list(values),
+        iterations=nodes,
+    )
+    result.validate()
+    return result
+
+
+def karmarkar_karp_multiway(
+    values: Sequence[float],
+    num_ways: int,
+    reverse_combine: bool = True,
+) -> PartitionResult:
+    """Multi-way KK tuple differencing.
+
+    Parameters
+    ----------
+    values:
+        Non-negative numbers to partition.
+    num_ways:
+        Number of ways ``m``.
+    reverse_combine:
+        ``True`` (the standard rule and the paper's RCKK) pairs position
+        ``i`` of one tuple with position ``m-1-i`` of the other — largest
+        with smallest.  ``False`` pairs same-position entries (a
+        deliberately weaker "forward" rule kept for the ablation study).
+
+    Returns
+    -------
+    PartitionResult
+        ``iterations`` counts combine steps (``n - 1``).
+    """
+    validate_instance(values, num_ways)
+    n = len(values)
+    if n == 0:
+        return PartitionResult(
+            subsets=[[] for _ in range(num_ways)], values=[], iterations=0
+        )
+    if num_ways == 1:
+        return PartitionResult(
+            subsets=[list(range(n))], values=list(values), iterations=0
+        )
+
+    counter = itertools.count()
+    heap: List[Tuple[float, int, TuplePartition]] = []
+    for i, v in enumerate(values):
+        part = TuplePartition.singleton(v, i, num_ways)
+        heapq.heappush(heap, (-part.head, next(counter), part))
+
+    iterations = 0
+    while len(heap) > 1:
+        iterations += 1
+        _, _, a = heapq.heappop(heap)
+        _, _, b = heapq.heappop(heap)
+        combined_entries = []
+        m = num_ways
+        for i in range(m):
+            j = (m - 1 - i) if reverse_combine else i
+            a_val, a_idx = a.entries[i]
+            b_val, b_idx = b.entries[j]
+            combined_entries.append((a_val + b_val, a_idx + b_idx))
+        combined = TuplePartition(entries=combined_entries).normalized()
+        heapq.heappush(heap, (-combined.head, next(counter), combined))
+
+    _, _, final = heap[0]
+    subsets = [list(indices) for _, indices in final.entries]
+    result = PartitionResult(
+        subsets=subsets, values=list(values), iterations=iterations
+    )
+    result.validate()
+    return result

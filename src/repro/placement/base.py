@@ -1,0 +1,242 @@
+"""Shared problem/result model for VNF chain placement.
+
+A :class:`PlacementProblem` bundles the VNFs ``F`` (each a bin-packing
+item of size ``M_f D_f``), the compute-node capacities ``A_v`` and —
+for chain-aware algorithms like NAH — the service chains.  All placement
+algorithms implement :class:`PlacementAlgorithm` and return a
+:class:`PlacementResult`, so experiments can sweep algorithm lists
+uniformly.
+
+Iteration accounting (paper Fig. 10)
+------------------------------------
+"Iterations of executing the algorithm for finding a feasible solution"
+is algorithm-specific in the paper, and so here:
+
+* FFD makes a single deterministic pass — always 1 iteration.
+* BFDSU counts solution-construction attempts: 1 + the number of restarts
+  its weighted random draws forced, plus fractional work for discarded
+  partial passes (reported as whole attempts).
+* NAH counts node-selection operations: one per heaviest-VNF placement
+  and one per same-node/fallback attempt for the remaining chain VNFs.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence
+
+from repro.exceptions import InfeasiblePlacementError, ValidationError
+from repro.nfv.chain import ServiceChain
+from repro.nfv.vnf import VNF
+
+
+@dataclass(frozen=True)
+class PlacementProblem:
+    """An instance of the VNF-CP problem (Eq. 13).
+
+    Parameters
+    ----------
+    vnfs:
+        The VNFs to place; their ``total_demand`` is the packing size.
+    capacities:
+        ``A_v`` per compute-node key.
+    chains:
+        Optional service chains over the VNFs.  Chain-aware algorithms
+        (NAH) use them; bin-packing algorithms ignore them.
+    """
+
+    vnfs: tuple
+    capacities: Mapping[Hashable, float]
+    chains: tuple = ()
+
+    def __init__(
+        self,
+        vnfs: Sequence[VNF],
+        capacities: Mapping[Hashable, float],
+        chains: Sequence[ServiceChain] = (),
+    ) -> None:
+        object.__setattr__(self, "vnfs", tuple(vnfs))
+        object.__setattr__(self, "capacities", dict(capacities))
+        object.__setattr__(self, "chains", tuple(chains))
+        self._validate()
+
+    def _validate(self) -> None:
+        if not self.vnfs:
+            raise ValidationError("placement problem has no VNFs")
+        if not self.capacities:
+            raise ValidationError("placement problem has no compute nodes")
+        names = [f.name for f in self.vnfs]
+        if len(set(names)) != len(names):
+            raise ValidationError("duplicate VNF names in placement problem")
+        for node, cap in self.capacities.items():
+            if cap <= 0.0:
+                raise ValidationError(
+                    f"node {node!r}: capacity must be positive, got {cap!r}"
+                )
+        known = set(names)
+        for chain in self.chains:
+            for vnf_name in chain:
+                if vnf_name not in known:
+                    raise ValidationError(
+                        f"chain references unknown VNF {vnf_name!r}"
+                    )
+
+    def vnf(self, name: str) -> VNF:
+        """Look up a VNF by name."""
+        for f in self.vnfs:
+            if f.name == name:
+                return f
+        raise ValidationError(f"unknown VNF {name!r}")
+
+    def total_demand(self) -> float:
+        """Aggregate demand ``sum_f M_f D_f``."""
+        return sum(f.total_demand for f in self.vnfs)
+
+    def total_capacity(self) -> float:
+        """Aggregate capacity ``sum_v A_v``."""
+        return sum(self.capacities.values())
+
+    def check_necessary_feasibility(self) -> None:
+        """Fast necessary conditions (not sufficient for heterogeneity).
+
+        Raises
+        ------
+        InfeasiblePlacementError
+            If some VNF exceeds every node or total demand exceeds total
+            capacity.
+        """
+        max_cap = max(self.capacities.values())
+        for f in self.vnfs:
+            if f.total_demand > max_cap + 1e-9:
+                raise InfeasiblePlacementError(
+                    f"VNF {f.name!r} total demand {f.total_demand:.6g} "
+                    f"exceeds the largest node capacity {max_cap:.6g}"
+                )
+        if self.total_demand() > self.total_capacity() + 1e-9:
+            raise InfeasiblePlacementError(
+                f"total demand {self.total_demand():.6g} exceeds total "
+                f"capacity {self.total_capacity():.6g}"
+            )
+
+
+@dataclass
+class PlacementResult:
+    """A feasible placement with its cost accounting.
+
+    Attributes
+    ----------
+    placement:
+        ``vnf_name -> node_key`` (the ``x_v^f`` variables).
+    problem:
+        The problem solved, kept for metric computation.
+    iterations:
+        Algorithm-specific iteration count (see module docstring).
+    algorithm:
+        Human-readable algorithm name for report rows.
+    """
+
+    placement: Dict[str, Hashable]
+    problem: PlacementProblem
+    iterations: int = 0
+    algorithm: str = ""
+
+    # ------------------------------------------------------------------
+    # Derived state
+    # ------------------------------------------------------------------
+    def node_loads(self) -> Dict[Hashable, float]:
+        """Placed demand per node (zero-load nodes omitted)."""
+        loads: Dict[Hashable, float] = {}
+        for vnf in self.problem.vnfs:
+            node = self.placement.get(vnf.name)
+            if node is None:
+                continue
+            loads[node] = loads.get(node, 0.0) + vnf.total_demand
+        return loads
+
+    def used_nodes(self) -> List[Hashable]:
+        """Nodes in service (``y_v = 1``)."""
+        return list(self.node_loads().keys())
+
+    @property
+    def num_used_nodes(self) -> int:
+        """``sum_v y_v`` — the Eq. (14) objective."""
+        return len(self.node_loads())
+
+    @property
+    def average_utilization(self) -> float:
+        """Eq. (13): mean of per-used-node load/capacity."""
+        loads = self.node_loads()
+        if not loads:
+            return 0.0
+        total = 0.0
+        for node, load in loads.items():
+            total += load / self.problem.capacities[node]
+        return total / len(loads)
+
+    @property
+    def total_occupied_capacity(self) -> float:
+        """Sum of ``A_v`` over used nodes (Fig. 9's "resource occupation")."""
+        return sum(
+            self.problem.capacities[node] for node in self.node_loads()
+        )
+
+    def node_of(self, vnf_name: str) -> Hashable:
+        """The node hosting ``vnf_name``."""
+        try:
+            return self.placement[vnf_name]
+        except KeyError:
+            raise ValidationError(f"VNF {vnf_name!r} is not placed") from None
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check Eqs. (2) and (6) hold for this placement.
+
+        Raises
+        ------
+        ValidationError
+            On an unplaced VNF, unknown node, or capacity violation.
+        """
+        for vnf in self.problem.vnfs:
+            node = self.placement.get(vnf.name)
+            if node is None:
+                raise ValidationError(f"VNF {vnf.name!r} unplaced (Eq. 2)")
+            if node not in self.problem.capacities:
+                raise ValidationError(
+                    f"VNF {vnf.name!r} placed on unknown node {node!r}"
+                )
+        for node, load in self.node_loads().items():
+            capacity = self.problem.capacities[node]
+            if load > capacity + 1e-9:
+                raise ValidationError(
+                    f"node {node!r} over capacity: {load:.6g} > {capacity:.6g} "
+                    "(Eq. 6)"
+                )
+
+
+class PlacementAlgorithm(abc.ABC):
+    """Strategy interface implemented by every placement algorithm."""
+
+    #: Stable display name used in experiment report rows.
+    name: str = "placement"
+
+    @abc.abstractmethod
+    def place(self, problem: PlacementProblem) -> PlacementResult:
+        """Solve ``problem``, returning a validated feasible placement.
+
+        Raises
+        ------
+        InfeasiblePlacementError
+            If the algorithm cannot find a feasible placement (which for
+            incomplete heuristics does not prove none exists).
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def demand_sorted_vnfs(problem: PlacementProblem) -> List[VNF]:
+    """VNFs sorted by decreasing total demand (ties by name, deterministic)."""
+    return sorted(problem.vnfs, key=lambda f: (-f.total_demand, f.name))

@@ -1,0 +1,85 @@
+"""Best-of-K wrapper for randomized placement algorithms.
+
+BFDSU is randomized; one draw is cheap (Fig. 10), so a deployment
+controller can afford several independent runs and keep the best — a
+restart metaheuristic the paper's cost analysis implicitly prices.
+:class:`BestOfKPlacement` wraps any (typically randomized) placement
+algorithm factory and selects by the Eq. (13)/(14) objective:
+fewest nodes in service, ties broken by highest average utilization.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.exceptions import InfeasiblePlacementError, ValidationError
+from repro.placement.base import (
+    PlacementAlgorithm,
+    PlacementProblem,
+    PlacementResult,
+)
+
+
+class BestOfKPlacement(PlacementAlgorithm):
+    """Run a placement algorithm K times, keep the best solution.
+
+    Parameters
+    ----------
+    factory:
+        Callable ``(run_index, rng) -> PlacementAlgorithm`` building a
+        fresh (independently seeded) algorithm per run.
+    k:
+        Number of independent runs.
+    rng:
+        Master generator; per-run generators are spawned from it so the
+        whole ensemble is reproducible from one seed.
+    """
+
+    name = "BestOfK"
+
+    def __init__(
+        self,
+        factory: Callable[[int, np.random.Generator], PlacementAlgorithm],
+        k: int = 5,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if k < 1:
+            raise ValidationError(f"k must be >= 1, got {k!r}")
+        self._factory = factory
+        self._k = k
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def place(self, problem: PlacementProblem) -> PlacementResult:
+        best: Optional[PlacementResult] = None
+        total_iterations = 0
+        failures = 0
+        for run in range(self._k):
+            child = self._rng.spawn(1)[0]
+            algorithm = self._factory(run, child)
+            try:
+                result = algorithm.place(problem)
+            except InfeasiblePlacementError:
+                failures += 1
+                continue
+            total_iterations += result.iterations
+            if best is None or _better(result, best):
+                best = result
+        if best is None:
+            raise InfeasiblePlacementError(
+                f"all {self._k} runs failed to find a feasible placement"
+            )
+        return PlacementResult(
+            placement=dict(best.placement),
+            problem=problem,
+            iterations=total_iterations,
+            algorithm=f"{self.name}({best.algorithm}x{self._k})",
+        )
+
+
+def _better(candidate: PlacementResult, incumbent: PlacementResult) -> bool:
+    """Eq. (14) first, Eq. (13) as the tiebreak."""
+    if candidate.num_used_nodes != incumbent.num_used_nodes:
+        return candidate.num_used_nodes < incumbent.num_used_nodes
+    return candidate.average_utilization > incumbent.average_utilization

@@ -1,0 +1,162 @@
+"""BFDSU — Best Fit Decreasing using Smallest Used nodes (Algorithm 1).
+
+The paper's priority-driven weighted placement algorithm:
+
+1. Sort VNFs in descending order of total demand ``D_f^sum = M_f D_f``.
+2. For each VNF ``f``, gather the candidate set ``V_rst(f)`` of nodes
+   with sufficient remaining capacity — first from the *Used* list
+   (nodes already hosting a VNF), falling back to the *Spare* list only
+   when no used node fits.  This priority is what consolidates load and
+   drives Eq. (14).
+3. Among candidates (sorted ascending by remaining capacity
+   ``RST(v)``), draw the target node with probability proportional to
+   ``P_rst(v) = 1 / (1 + RST(v) - D_f^sum)`` — a *weighted best fit*:
+   the tightest-fitting node is most likely but not certain, which keeps
+   the search from dead-ending on the hard instances where pure best fit
+   paints itself into a corner.
+4. If no node fits at all, "go back to Begin": restart the whole
+   construction with fresh random draws (bounded by ``max_restarts``).
+
+Worst-case guarantee: the asymptotic performance bound of Theorem 2 is
+2 — BFDSU never uses more than twice the optimal number of nodes
+(asymptotically), because any two consecutive used nodes (sorted by
+capacity) must be more than one node-capacity full in total.
+
+Iteration accounting: ``iterations`` counts weighted random draws
+performed — one per VNF placement decision, including the decisions of
+construction attempts later discarded by a restart.  This is the
+execution-cost proxy of the paper's Fig. 10: bounded below by ``|F|`` and
+growing with every "go back to Begin".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import MaxRestartsExceededError
+from repro.placement.base import (
+    PlacementAlgorithm,
+    PlacementProblem,
+    PlacementResult,
+    demand_sorted_vnfs,
+)
+
+#: The additive constant keeping the weight denominator nonzero (paper).
+WEIGHT_OFFSET = 1.0
+
+
+def placement_weights(
+    residuals: List[float], demand: float, offset: float = WEIGHT_OFFSET
+) -> List[float]:
+    """The BFDSU weights ``P_rst(v) = 1 / (offset + RST(v) - D_f^sum)``.
+
+    ``residuals`` must all be >= ``demand`` (candidates only).  Exposed as
+    a function so tests can check the distribution directly.
+    """
+    return [1.0 / (offset + rst - demand) for rst in residuals]
+
+
+class BFDSUPlacement(PlacementAlgorithm):
+    """The paper's BFDSU placement algorithm.
+
+    Parameters
+    ----------
+    rng:
+        Seeded random generator (reproducibility).  A fresh default
+        generator is created when omitted.
+    max_restarts:
+        Bound on "go back to Begin" restarts before raising
+        :class:`MaxRestartsExceededError`.
+    weight_offset:
+        The constant added to the weight denominator; the paper uses 1.
+    """
+
+    name = "BFDSU"
+
+    def __init__(
+        self,
+        rng: Optional[np.random.Generator] = None,
+        max_restarts: int = 200,
+        weight_offset: float = WEIGHT_OFFSET,
+    ) -> None:
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._max_restarts = max_restarts
+        self._weight_offset = weight_offset
+
+    def place(self, problem: PlacementProblem) -> PlacementResult:
+        problem.check_necessary_feasibility()
+        vnfs = demand_sorted_vnfs(problem)
+        attempts = 0
+        draws = 0
+        while attempts <= self._max_restarts:
+            attempts += 1
+            placement, attempt_draws = self._attempt(problem, vnfs)
+            draws += attempt_draws
+            if placement is not None:
+                result = PlacementResult(
+                    placement=placement,
+                    problem=problem,
+                    iterations=draws,
+                    algorithm=self.name,
+                )
+                result.validate()
+                return result
+        raise MaxRestartsExceededError(
+            f"BFDSU failed to find a feasible placement within "
+            f"{self._max_restarts} restarts"
+        )
+
+    # ------------------------------------------------------------------
+    # One construction attempt (lines 1-18 of Algorithm 1)
+    # ------------------------------------------------------------------
+    def _attempt(
+        self, problem: PlacementProblem, vnfs: List
+    ) -> Tuple[Optional[Dict[str, Hashable]], int]:
+        residual: Dict[Hashable, float] = dict(problem.capacities)
+        used: List[Hashable] = []
+        used_set = set()
+        # Spare list keeps the problem's node order (deterministic scan).
+        spare: List[Hashable] = list(problem.capacities.keys())
+        placement: Dict[str, Hashable] = {}
+        draws = 0
+
+        for vnf in vnfs:
+            demand = vnf.total_demand
+            candidates = [v for v in used if residual[v] >= demand - 1e-9]
+            if not candidates:
+                candidates = [v for v in spare if residual[v] >= demand - 1e-9]
+            if not candidates:
+                # Line 9: "Go back to Begin" — the restart loop in place().
+                return None, draws
+            draws += 1
+            target = self._weighted_draw(candidates, residual, demand)
+            placement[vnf.name] = target
+            residual[target] -= demand
+            if target not in used_set:
+                used_set.add(target)
+                used.append(target)
+                spare.remove(target)
+        return placement, draws
+
+    def _weighted_draw(
+        self,
+        candidates: List[Hashable],
+        residual: Dict[Hashable, float],
+        demand: float,
+    ) -> Hashable:
+        """Lines 12-16: ascending-RST sort, weights, cumulative draw."""
+        ordered = sorted(candidates, key=lambda v: (residual[v], str(v)))
+        weights = placement_weights(
+            [residual[v] for v in ordered], demand, self._weight_offset
+        )
+        prob_sum = sum(weights)
+        xi = self._rng.uniform(0.0, prob_sum)
+        cumulative = 0.0
+        for node, weight in zip(ordered, weights):
+            cumulative += weight
+            if xi < cumulative:
+                return node
+        # Floating-point edge: xi == prob_sum; take the last candidate.
+        return ordered[-1]

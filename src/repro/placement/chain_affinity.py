@@ -1,0 +1,160 @@
+"""Chain-affinity BFDSU — a joint-objective placement extension.
+
+The paper's Fig. 1 motivates converting *inter-server* chains into
+*intra-server* chains: every chain hop that crosses nodes pays the link
+latency ``L`` in Eq. (16).  BFDSU minimizes nodes in service but is
+chain-blind; this extension biases its weighted draw toward nodes that
+already host *neighbouring VNFs of the same chains*, reducing inter-node
+hops at (empirically) no consolidation cost.
+
+Mechanism: the candidate weight becomes
+
+    ``P(v) = affinity_boost^a(v) / (1 + RST(v) - D_f^sum)``
+
+where ``a(v)`` counts the already-placed chain neighbours of the VNF
+being placed that live on ``v``.  With ``affinity_boost = 1`` this is
+exactly BFDSU; the ablation benchmark sweeps the boost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.exceptions import MaxRestartsExceededError
+from repro.nfv.vnf import VNF
+from repro.placement.base import (
+    PlacementAlgorithm,
+    PlacementProblem,
+    PlacementResult,
+    demand_sorted_vnfs,
+)
+from repro.placement.bfdsu import WEIGHT_OFFSET
+
+
+class ChainAffinityBFDSU(PlacementAlgorithm):
+    """BFDSU with chain-neighbour affinity in the weighted draw.
+
+    Parameters
+    ----------
+    rng:
+        Seeded random generator.
+    affinity_boost:
+        Multiplicative weight factor per already-co-located chain
+        neighbour; 1.0 reduces to plain BFDSU, larger values pull chains
+        together harder.
+    max_restarts:
+        Bound on full restarts, as in BFDSU.
+    """
+
+    name = "ChainAffinityBFDSU"
+
+    def __init__(
+        self,
+        rng: Optional[np.random.Generator] = None,
+        affinity_boost: float = 4.0,
+        max_restarts: int = 200,
+    ) -> None:
+        if affinity_boost < 1.0:
+            raise ValueError(
+                f"affinity boost must be >= 1, got {affinity_boost!r}"
+            )
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._boost = affinity_boost
+        self._max_restarts = max_restarts
+
+    def place(self, problem: PlacementProblem) -> PlacementResult:
+        problem.check_necessary_feasibility()
+        vnfs = demand_sorted_vnfs(problem)
+        neighbours = _chain_neighbours(problem)
+        attempts = 0
+        draws = 0
+        while attempts <= self._max_restarts:
+            attempts += 1
+            placement, attempt_draws = self._attempt(
+                problem, vnfs, neighbours
+            )
+            draws += attempt_draws
+            if placement is not None:
+                result = PlacementResult(
+                    placement=placement,
+                    problem=problem,
+                    iterations=draws,
+                    algorithm=self.name,
+                )
+                result.validate()
+                return result
+        raise MaxRestartsExceededError(
+            f"{self.name} failed within {self._max_restarts} restarts"
+        )
+
+    def _attempt(
+        self,
+        problem: PlacementProblem,
+        vnfs: List[VNF],
+        neighbours: Dict[str, Set[str]],
+    ) -> Tuple[Optional[Dict[str, Hashable]], int]:
+        residual: Dict[Hashable, float] = dict(problem.capacities)
+        used: List[Hashable] = []
+        used_set = set()
+        spare: List[Hashable] = list(problem.capacities.keys())
+        placement: Dict[str, Hashable] = {}
+        draws = 0
+
+        for vnf in vnfs:
+            demand = vnf.total_demand
+            candidates = [v for v in used if residual[v] >= demand - 1e-9]
+            if not candidates:
+                candidates = [v for v in spare if residual[v] >= demand - 1e-9]
+            if not candidates:
+                return None, draws
+            draws += 1
+            target = self._weighted_draw(
+                candidates, residual, demand, vnf.name, neighbours, placement
+            )
+            placement[vnf.name] = target
+            residual[target] -= demand
+            if target not in used_set:
+                used_set.add(target)
+                used.append(target)
+                spare.remove(target)
+        return placement, draws
+
+    def _weighted_draw(
+        self,
+        candidates: List[Hashable],
+        residual: Dict[Hashable, float],
+        demand: float,
+        vnf_name: str,
+        neighbours: Dict[str, Set[str]],
+        placement: Dict[str, Hashable],
+    ) -> Hashable:
+        ordered = sorted(candidates, key=lambda v: (residual[v], str(v)))
+        placed_neighbours = [
+            placement[m]
+            for m in neighbours.get(vnf_name, ())
+            if m in placement
+        ]
+        weights = []
+        for node in ordered:
+            base = 1.0 / (WEIGHT_OFFSET + residual[node] - demand)
+            affinity = sum(1 for n in placed_neighbours if n == node)
+            weights.append(base * self._boost**affinity)
+        xi = self._rng.uniform(0.0, sum(weights))
+        cumulative = 0.0
+        for node, weight in zip(ordered, weights):
+            cumulative += weight
+            if xi < cumulative:
+                return node
+        return ordered[-1]
+
+
+def _chain_neighbours(problem: PlacementProblem) -> Dict[str, Set[str]]:
+    """Adjacent-VNF map over all chains (hop partners in either direction)."""
+    out: Dict[str, Set[str]] = {}
+    for chain in problem.chains:
+        for a, b in chain.hops():
+            out.setdefault(a, set()).add(b)
+            out.setdefault(b, set()).add(a)
+    return out

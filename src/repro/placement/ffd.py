@@ -1,0 +1,60 @@
+"""FFD — First-Fit-Decreasing placement baseline.
+
+Sorts VNFs by decreasing total demand and, at each step, scans the
+candidate nodes ordered by *descending remaining capacity*, taking the
+first that fits — i.e., the node with the largest residual.  This is the
+"first fit" of the NFV placement literature the paper compares against,
+where the scheduler keeps the node list sorted by available resources:
+the most available node is always tried first.
+
+The consequences are exactly the trends of the paper's Figs. 5-10: FFD
+keeps no Used/Spare state and always grabs the most available node, so it
+spreads load across the most nodes (Fig. 8), leaves them at the lowest
+utilization (Figs. 5-7, around two-thirds), and its resource occupation
+grows as bigger pools expose bigger nodes (Fig. 9) — while its single
+deterministic pass makes it the cheapest algorithm (one iteration,
+Fig. 10).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable
+
+from repro.exceptions import InfeasiblePlacementError
+from repro.placement.base import (
+    PlacementAlgorithm,
+    PlacementProblem,
+    PlacementResult,
+    demand_sorted_vnfs,
+)
+
+
+class FFDPlacement(PlacementAlgorithm):
+    """First-Fit-Decreasing with the node list kept most-available-first."""
+
+    name = "FFD"
+
+    def place(self, problem: PlacementProblem) -> PlacementResult:
+        problem.check_necessary_feasibility()
+        residual: Dict[Hashable, float] = dict(problem.capacities)
+        placement: Dict[str, Hashable] = {}
+        for vnf in demand_sorted_vnfs(problem):
+            demand = vnf.total_demand
+            # The node list is kept sorted by available resources; "first
+            # fit" therefore selects the node with the largest residual.
+            target = max(residual, key=lambda v: (residual[v], str(v)))
+            if residual[target] < demand - 1e-9:
+                raise InfeasiblePlacementError(
+                    f"FFD could not place VNF {vnf.name!r} "
+                    f"(demand {demand:.6g}) on any node"
+                )
+            placement[vnf.name] = target
+            residual[target] -= demand
+        result = PlacementResult(
+            placement=placement,
+            problem=problem,
+            iterations=1,
+            algorithm=self.name,
+        )
+        result.validate()
+        return result

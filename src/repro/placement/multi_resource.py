@@ -1,0 +1,335 @@
+"""Multi-resource placement — CPU plus secondary resource constraints.
+
+The paper treats CPU as the bottleneck (``A_v`` is CPU-bounded) and says
+other hardware resources (memory, network bandwidth) "are modeled as
+additional constraints".  This module implements exactly that extension:
+
+* :class:`ResourceVector` — a named bundle of per-resource quantities.
+* :class:`MultiResourceProblem` — VNF demand vectors + node capacity
+  vectors over a shared resource-name set.
+* :class:`VectorBFDSU` — BFDSU generalized to vectors: feasibility means
+  *every* resource fits, and the "remaining space" driving the weighted
+  draw is the residual of the *dominant* (scarcest) resource, in the
+  spirit of dominant-resource fairness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import (
+    InfeasiblePlacementError,
+    MaxRestartsExceededError,
+    ValidationError,
+)
+from repro.placement.bfdsu import WEIGHT_OFFSET
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """An immutable named bundle of resource quantities."""
+
+    quantities: Tuple[Tuple[str, float], ...]
+
+    def __init__(self, **quantities: float) -> None:
+        if not quantities:
+            raise ValidationError("a resource vector needs >= 1 resource")
+        for name, value in quantities.items():
+            if value < 0.0:
+                raise ValidationError(
+                    f"resource {name!r} must be non-negative, got {value!r}"
+                )
+        object.__setattr__(
+            self, "quantities", tuple(sorted(quantities.items()))
+        )
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """Resource names, sorted."""
+        return tuple(name for name, _ in self.quantities)
+
+    def get(self, name: str) -> float:
+        """Quantity of one resource."""
+        for n, v in self.quantities:
+            if n == name:
+                return v
+        raise ValidationError(f"unknown resource {name!r}")
+
+    def fits_within(self, other: "ResourceVector") -> bool:
+        """Whether every component fits in ``other`` (same names)."""
+        self._check_compatible(other)
+        return all(
+            v <= other.get(n) + 1e-9 for n, v in self.quantities
+        )
+
+    def minus(self, other: "ResourceVector") -> "ResourceVector":
+        """Componentwise subtraction (used for residuals)."""
+        self._check_compatible(other)
+        return ResourceVector(
+            **{n: v - other.get(n) for n, v in self.quantities}
+        )
+
+    def plus(self, other: "ResourceVector") -> "ResourceVector":
+        """Componentwise addition."""
+        self._check_compatible(other)
+        return ResourceVector(
+            **{n: v + other.get(n) for n, v in self.quantities}
+        )
+
+    def dominant_share(self, capacity: "ResourceVector") -> float:
+        """The largest per-resource fraction of ``capacity`` this uses."""
+        self._check_compatible(capacity)
+        shares = []
+        for name, value in self.quantities:
+            cap = capacity.get(name)
+            if cap <= 0.0:
+                if value > 0.0:
+                    return float("inf")
+                continue
+            shares.append(value / cap)
+        return max(shares) if shares else 0.0
+
+    def _check_compatible(self, other: "ResourceVector") -> None:
+        if self.names != other.names:
+            raise ValidationError(
+                f"resource name mismatch: {self.names} vs {other.names}"
+            )
+
+
+@dataclass(frozen=True)
+class MultiResourceProblem:
+    """VNF demand vectors and node capacity vectors.
+
+    Parameters
+    ----------
+    demands:
+        ``vnf_name -> total demand vector`` (``M_f`` already folded in).
+    capacities:
+        ``node_key -> capacity vector``; every vector shares one
+        resource-name set.
+    """
+
+    demands: Mapping[str, ResourceVector]
+    capacities: Mapping[Hashable, ResourceVector]
+
+    def __post_init__(self) -> None:
+        if not self.demands:
+            raise ValidationError("no VNFs to place")
+        if not self.capacities:
+            raise ValidationError("no compute nodes")
+        names = next(iter(self.capacities.values())).names
+        for vec in list(self.demands.values()) + list(self.capacities.values()):
+            if vec.names != names:
+                raise ValidationError(
+                    "all vectors must share one resource-name set"
+                )
+
+    def check_necessary_feasibility(self) -> None:
+        """Per-resource volume and biggest-item checks.
+
+        Raises
+        ------
+        InfeasiblePlacementError
+            When some VNF exceeds every node on some resource, or the
+            aggregate demand of some resource exceeds its aggregate
+            capacity.
+        """
+        names = next(iter(self.capacities.values())).names
+        for vnf_name, demand in self.demands.items():
+            if not any(
+                demand.fits_within(cap) for cap in self.capacities.values()
+            ):
+                raise InfeasiblePlacementError(
+                    f"VNF {vnf_name!r} fits no node on some resource"
+                )
+        for name in names:
+            total_demand = sum(d.get(name) for d in self.demands.values())
+            total_capacity = sum(
+                c.get(name) for c in self.capacities.values()
+            )
+            if total_demand > total_capacity + 1e-9:
+                raise InfeasiblePlacementError(
+                    f"resource {name!r}: total demand {total_demand:.6g} "
+                    f"exceeds total capacity {total_capacity:.6g}"
+                )
+
+
+@dataclass
+class MultiResourceResult:
+    """A feasible multi-resource placement."""
+
+    placement: Dict[str, Hashable]
+    problem: MultiResourceProblem
+    iterations: int = 0
+    algorithm: str = "VectorBFDSU"
+
+    def node_loads(self) -> Dict[Hashable, ResourceVector]:
+        """Aggregate demand vector per used node."""
+        loads: Dict[Hashable, ResourceVector] = {}
+        for vnf_name, node in self.placement.items():
+            demand = self.problem.demands[vnf_name]
+            loads[node] = (
+                loads[node].plus(demand) if node in loads else demand
+            )
+        return loads
+
+    @property
+    def num_used_nodes(self) -> int:
+        """Nodes in service."""
+        return len(self.node_loads())
+
+    def average_dominant_utilization(self) -> float:
+        """Mean dominant-resource share over used nodes (Eq. 13 analog)."""
+        loads = self.node_loads()
+        if not loads:
+            return 0.0
+        return sum(
+            load.dominant_share(self.problem.capacities[node])
+            for node, load in loads.items()
+        ) / len(loads)
+
+    def validate(self) -> None:
+        """Every VNF placed once; every node within capacity per resource.
+
+        Raises
+        ------
+        ValidationError
+            On an unplaced VNF or any per-resource overflow.
+        """
+        for vnf_name in self.problem.demands:
+            if vnf_name not in self.placement:
+                raise ValidationError(f"VNF {vnf_name!r} unplaced")
+        for node, load in self.node_loads().items():
+            capacity = self.problem.capacities.get(node)
+            if capacity is None:
+                raise ValidationError(f"unknown node {node!r}")
+            if not load.fits_within(capacity):
+                raise ValidationError(
+                    f"node {node!r} over capacity on some resource"
+                )
+
+
+class VectorBFDSU:
+    """BFDSU generalized to resource vectors (dominant-resource residual)."""
+
+    name = "VectorBFDSU"
+
+    def __init__(
+        self,
+        rng: Optional[np.random.Generator] = None,
+        max_restarts: int = 200,
+    ) -> None:
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._max_restarts = max_restarts
+
+    def place(self, problem: MultiResourceProblem) -> MultiResourceResult:
+        problem.check_necessary_feasibility()
+        # Demand order: by dominant share of the *average* node, descending.
+        avg_capacity = _mean_capacity(problem)
+        order = sorted(
+            problem.demands,
+            key=lambda name: (
+                -problem.demands[name].dominant_share(avg_capacity),
+                name,
+            ),
+        )
+        attempts = 0
+        draws = 0
+        while attempts <= self._max_restarts:
+            attempts += 1
+            placement, attempt_draws = self._attempt(problem, order)
+            draws += attempt_draws
+            if placement is not None:
+                result = MultiResourceResult(
+                    placement=placement,
+                    problem=problem,
+                    iterations=draws,
+                    algorithm=self.name,
+                )
+                result.validate()
+                return result
+        raise MaxRestartsExceededError(
+            f"VectorBFDSU failed within {self._max_restarts} restarts"
+        )
+
+    def _attempt(
+        self, problem: MultiResourceProblem, order: List[str]
+    ) -> Tuple[Optional[Dict[str, Hashable]], int]:
+        residual: Dict[Hashable, ResourceVector] = dict(problem.capacities)
+        used: List[Hashable] = []
+        used_set = set()
+        spare: List[Hashable] = list(problem.capacities.keys())
+        placement: Dict[str, Hashable] = {}
+        draws = 0
+
+        for vnf_name in order:
+            demand = problem.demands[vnf_name]
+            candidates = [
+                v for v in used if demand.fits_within(residual[v])
+            ]
+            if not candidates:
+                candidates = [
+                    v for v in spare if demand.fits_within(residual[v])
+                ]
+            if not candidates:
+                return None, draws
+            draws += 1
+            target = self._weighted_draw(
+                candidates, residual, demand, problem
+            )
+            placement[vnf_name] = target
+            residual[target] = residual[target].minus(demand)
+            if target not in used_set:
+                used_set.add(target)
+                used.append(target)
+                spare.remove(target)
+        return placement, draws
+
+    def _weighted_draw(
+        self,
+        candidates: List[Hashable],
+        residual: Dict[Hashable, ResourceVector],
+        demand: ResourceVector,
+        problem: MultiResourceProblem,
+    ) -> Hashable:
+        # "Remaining space" = dominant residual fraction after placing:
+        # smaller leftover -> tighter fit -> larger weight.
+        def leftover(v: Hashable) -> float:
+            after = residual[v].minus(demand)
+            capacity = problem.capacities[v]
+            # Slack as the *minimum* remaining fraction across resources
+            # (the scarcest resource governs future usability).
+            fractions = [
+                after.get(name) / capacity.get(name)
+                for name in capacity.names
+                if capacity.get(name) > 0.0
+            ]
+            return min(fractions) if fractions else 0.0
+
+        ordered = sorted(candidates, key=lambda v: (leftover(v), str(v)))
+        weights = [
+            1.0 / (WEIGHT_OFFSET + leftover(v)) for v in ordered
+        ]
+        xi = self._rng.uniform(0.0, sum(weights))
+        cumulative = 0.0
+        for node, weight in zip(ordered, weights):
+            cumulative += weight
+            if xi < cumulative:
+                return node
+        return ordered[-1]
+
+
+def _mean_capacity(problem: MultiResourceProblem) -> ResourceVector:
+    """Componentwise mean of the node capacity vectors."""
+    names = next(iter(problem.capacities.values())).names
+    count = len(problem.capacities)
+    return ResourceVector(
+        **{
+            name: sum(c.get(name) for c in problem.capacities.values())
+            / count
+            for name in names
+        }
+    )

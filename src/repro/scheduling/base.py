@@ -1,0 +1,184 @@
+"""Shared problem/result model for request scheduling.
+
+A :class:`SchedulingProblem` is per-VNF: the set ``R_f`` of requests
+whose chains include VNF ``f`` must be split across its ``M_f`` service
+instances (Eq. 5) so the per-instance aggregate rates are as equal as
+possible (Eq. 15's insight).  All algorithms implement
+:class:`SchedulingAlgorithm` and return a :class:`ScheduleResult`.
+
+:func:`schedule_all_vnfs` lifts a per-VNF scheduler over a whole problem
+instance, producing the ``(request_id, vnf_name) -> k`` map a
+:class:`~repro.nfv.state.DeploymentState` consumes.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.exceptions import SchedulingError, ValidationError
+from repro.nfv.instance import ServiceInstance
+from repro.nfv.request import Request
+from repro.nfv.vnf import VNF
+
+
+@dataclass(frozen=True)
+class SchedulingProblem:
+    """Assign the requests using one VNF to its service instances.
+
+    Parameters
+    ----------
+    vnf:
+        The VNF ``f`` (supplies ``M_f`` and ``mu_f``).
+    requests:
+        The set ``R_f = {r : U_r^f = 1}``; every request's chain must
+        include ``vnf.name``.
+    """
+
+    vnf: VNF
+    requests: tuple
+
+    def __init__(self, vnf: VNF, requests: Sequence[Request]) -> None:
+        object.__setattr__(self, "vnf", vnf)
+        object.__setattr__(self, "requests", tuple(requests))
+        self._validate()
+
+    def _validate(self) -> None:
+        if not self.requests:
+            raise ValidationError(
+                f"scheduling problem for VNF {self.vnf.name!r} has no requests"
+            )
+        ids = [r.request_id for r in self.requests]
+        if len(set(ids)) != len(ids):
+            raise ValidationError("duplicate request ids in scheduling problem")
+        for request in self.requests:
+            if not request.uses(self.vnf.name):
+                raise ValidationError(
+                    f"request {request.request_id!r} does not use VNF "
+                    f"{self.vnf.name!r}"
+                )
+
+    @property
+    def num_instances(self) -> int:
+        """``m = M_f``."""
+        return self.vnf.num_instances
+
+    @property
+    def num_requests(self) -> int:
+        """``n = |R_f|``."""
+        return len(self.requests)
+
+    def effective_rates(self) -> List[float]:
+        """Per-request effective rates ``lambda_r / P_r`` — the MWNP values."""
+        return [r.effective_rate for r in self.requests]
+
+    def total_effective_rate(self) -> float:
+        """``sum_r lambda_r / P_r`` across all requests of ``R_f``."""
+        return sum(self.effective_rates())
+
+
+@dataclass
+class ScheduleResult:
+    """A per-VNF schedule: the materialized ``z_{r,k}^f`` variables.
+
+    Attributes
+    ----------
+    assignment:
+        ``request_id -> instance index k``.
+    problem:
+        The problem solved.
+    iterations:
+        Algorithm-specific work units (combine steps / search nodes).
+    algorithm:
+        Display name for report rows.
+    """
+
+    assignment: Dict[str, int]
+    problem: SchedulingProblem
+    iterations: int = 0
+    algorithm: str = ""
+
+    def instances(self) -> List[ServiceInstance]:
+        """Materialize the VNF's instances with their scheduled requests."""
+        table = [
+            ServiceInstance(vnf=self.problem.vnf, index=k)
+            for k in range(self.problem.num_instances)
+        ]
+        for request in self.problem.requests:
+            k = self.assignment.get(request.request_id)
+            if k is None:
+                raise SchedulingError(
+                    f"request {request.request_id!r} left unassigned (Eq. 5)"
+                )
+            table[k].assign(request)
+        return table
+
+    def instance_rates(self) -> List[float]:
+        """Per-instance equivalent arrival rates ``Lambda_k^f`` (Eq. 7)."""
+        return [inst.equivalent_arrival_rate for inst in self.instances()]
+
+    def validate(self) -> None:
+        """Check Eq. (5): every request mapped to exactly one valid instance.
+
+        Raises
+        ------
+        ValidationError
+            On a missing assignment or out-of-range instance index.
+        """
+        m = self.problem.num_instances
+        for request in self.problem.requests:
+            k = self.assignment.get(request.request_id)
+            if k is None:
+                raise ValidationError(
+                    f"request {request.request_id!r} unassigned (Eq. 5)"
+                )
+            if not 0 <= k < m:
+                raise ValidationError(
+                    f"request {request.request_id!r}: instance {k} out of "
+                    f"range [0, {m})"
+                )
+        extras = set(self.assignment) - {
+            r.request_id for r in self.problem.requests
+        }
+        if extras:
+            raise ValidationError(
+                f"assignment contains unknown request ids: {sorted(extras)}"
+            )
+
+
+class SchedulingAlgorithm(abc.ABC):
+    """Strategy interface implemented by every scheduling algorithm."""
+
+    #: Stable display name used in experiment report rows.
+    name: str = "scheduler"
+
+    @abc.abstractmethod
+    def schedule(self, problem: SchedulingProblem) -> ScheduleResult:
+        """Solve ``problem``, returning a validated schedule."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def schedule_all_vnfs(
+    vnfs: Sequence[VNF],
+    requests: Sequence[Request],
+    algorithm: SchedulingAlgorithm,
+) -> Dict[Tuple[str, str], int]:
+    """Schedule every VNF's request set, yielding the joint ``z`` map.
+
+    VNFs used by no request are skipped (they simply idle).  The result
+    maps ``(request_id, vnf_name) -> k`` and is directly consumable by
+    :class:`~repro.nfv.state.DeploymentState`.
+    """
+    joint: Dict[Tuple[str, str], int] = {}
+    for vnf in vnfs:
+        users = [r for r in requests if r.uses(vnf.name)]
+        if not users:
+            continue
+        result = algorithm.schedule(SchedulingProblem(vnf=vnf, requests=users))
+        result.validate()
+        for request_id, k in result.assignment.items():
+            joint[(request_id, vnf.name)] = k
+    return joint

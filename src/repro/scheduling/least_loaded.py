@@ -1,0 +1,41 @@
+"""Join-the-least-loaded request scheduler.
+
+Greedy in *given request order* (not sorted): each request joins the
+instance with the smallest current aggregate rate.  This is the online
+version of LPT; sorting first turns it into the greedy/LPT partition
+(which is CGA's first leaf), so it sits between round-robin and CGA in
+solution quality and serves as an online-policy reference.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.scheduling.base import (
+    SchedulingAlgorithm,
+    SchedulingProblem,
+    ScheduleResult,
+)
+
+
+class LeastLoadedScheduler(SchedulingAlgorithm):
+    """Assign each request (in order) to the currently least-loaded instance."""
+
+    name = "LeastLoaded"
+
+    def schedule(self, problem: SchedulingProblem) -> ScheduleResult:
+        heap = [(0.0, k) for k in range(problem.num_instances)]
+        heapq.heapify(heap)
+        assignment = {}
+        for request in problem.requests:
+            load, k = heapq.heappop(heap)
+            assignment[request.request_id] = k
+            heapq.heappush(heap, (load + request.effective_rate, k))
+        result = ScheduleResult(
+            assignment=assignment,
+            problem=problem,
+            iterations=problem.num_requests,
+            algorithm=self.name,
+        )
+        result.validate()
+        return result

@@ -1,0 +1,106 @@
+"""Scheduling evaluation metrics (Figs. 11-16 plus tail statistics).
+
+:func:`schedule_report` reduces a :class:`ScheduleResult` to the paper's
+latency metrics; when asked it first applies admission control
+(:mod:`repro.core.admission`) so the job-rejection experiments
+(Figs. 15-16) can overload instances safely.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.exceptions import SchedulingError
+from repro.scheduling.base import ScheduleResult
+
+
+@dataclass(frozen=True)
+class ScheduleReport:
+    """One report row: a schedule reduced to the paper's metrics.
+
+    ``average_response_time`` is Eq. (15)'s objective — the mean
+    ``W(f,k)`` over instances actually serving requests.  When any
+    serving instance is unstable and admission control was not applied,
+    the latency fields are ``inf``.
+    """
+
+    algorithm: str
+    instance_rates: tuple
+    utilizations: tuple
+    average_response_time: float
+    max_response_time: float
+    makespan: float
+    spread: float
+    num_requests: int
+    num_rejected: int
+    iterations: int
+
+    @property
+    def rejection_rate(self) -> float:
+        """Job rejection rate: rejected / offered (Figs. 15-16)."""
+        if self.num_requests == 0:
+            return 0.0
+        return self.num_rejected / self.num_requests
+
+
+def schedule_report(
+    result: ScheduleResult, apply_admission: bool = False
+) -> ScheduleReport:
+    """Reduce a schedule to the paper's latency/rejection metrics.
+
+    Parameters
+    ----------
+    result:
+        The schedule to evaluate.
+    apply_admission:
+        When True, overloaded instances shed requests via
+        :func:`repro.core.admission.apply_admission_control` before
+        latency is computed, and the shed count feeds
+        ``rejection_rate``.  When False, an unstable instance makes the
+        latency fields infinite (no steady state exists).
+    """
+    instances = result.instances()
+    num_requests = result.problem.num_requests
+    num_rejected = 0
+    if apply_admission:
+        from repro.core.admission import apply_admission_control
+
+        outcome = apply_admission_control(instances)
+        instances = outcome.instances
+        num_rejected = outcome.num_rejected
+
+    serving = [inst for inst in instances if inst.requests]
+    rates = tuple(inst.equivalent_arrival_rate for inst in instances)
+    utils = tuple(inst.utilization for inst in instances)
+
+    if serving and all(inst.is_stable for inst in serving):
+        response_times = [inst.mean_response_time for inst in serving]
+        average_w = sum(response_times) / len(response_times)
+        max_w = max(response_times)
+    else:
+        average_w = math.inf
+        max_w = math.inf
+
+    return ScheduleReport(
+        algorithm=result.algorithm,
+        instance_rates=rates,
+        utilizations=utils,
+        average_response_time=average_w,
+        max_response_time=max_w,
+        makespan=max(rates) if rates else 0.0,
+        spread=(max(rates) - min(rates)) if rates else 0.0,
+        num_requests=num_requests,
+        num_rejected=num_rejected,
+        iterations=result.iterations,
+    )
+
+
+def enhancement_ratio(baseline_w: float, improved_w: float) -> float:
+    """The paper's ``(W_CGA - W_RCKK) / W_CGA`` improvement metric."""
+    if baseline_w == 0.0:
+        return 0.0
+    if math.isinf(baseline_w) and math.isinf(improved_w):
+        return 0.0
+    return (baseline_w - improved_w) / baseline_w

@@ -1,0 +1,37 @@
+"""Uniform random request scheduler — a statistical floor baseline."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.scheduling.base import (
+    SchedulingAlgorithm,
+    SchedulingProblem,
+    ScheduleResult,
+)
+
+
+class RandomScheduler(SchedulingAlgorithm):
+    """Assign each request to a uniformly random instance."""
+
+    name = "Random"
+
+    def __init__(self, rng: Optional[np.random.Generator] = None) -> None:
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def schedule(self, problem: SchedulingProblem) -> ScheduleResult:
+        m = problem.num_instances
+        assignment = {
+            request.request_id: int(self._rng.integers(0, m))
+            for request in problem.requests
+        }
+        result = ScheduleResult(
+            assignment=assignment,
+            problem=problem,
+            iterations=problem.num_requests,
+            algorithm=self.name,
+        )
+        result.validate()
+        return result

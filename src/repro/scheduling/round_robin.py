@@ -1,0 +1,36 @@
+"""Round-robin request scheduler.
+
+Assigns requests to instances cyclically in arrival order — the simplest
+stateless policy, included as a floor baseline: it balances *counts*,
+not rates, so heavy-tailed arrival rates leave it far from Eq. (15)'s
+optimum.
+"""
+
+from __future__ import annotations
+
+from repro.scheduling.base import (
+    SchedulingAlgorithm,
+    SchedulingProblem,
+    ScheduleResult,
+)
+
+
+class RoundRobinScheduler(SchedulingAlgorithm):
+    """Cyclic assignment in request order."""
+
+    name = "RoundRobin"
+
+    def schedule(self, problem: SchedulingProblem) -> ScheduleResult:
+        m = problem.num_instances
+        assignment = {
+            request.request_id: i % m
+            for i, request in enumerate(problem.requests)
+        }
+        result = ScheduleResult(
+            assignment=assignment,
+            problem=problem,
+            iterations=problem.num_requests,
+            algorithm=self.name,
+        )
+        result.validate()
+        return result

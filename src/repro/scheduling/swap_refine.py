@@ -1,0 +1,158 @@
+"""Swap/move refinement of a schedule — local search after RCKK.
+
+One-pass differencing leaves residual imbalance; the classic cleanup is
+local search over two move types:
+
+* **move** — reassign one request from the most-loaded instance to a
+  lighter one,
+* **swap** — exchange two requests between the most-loaded instance and
+  another,
+
+accepting only moves that reduce the *makespan* (the largest instance
+rate — the quantity Eq. (12) says dominates the worst ``W(f,k)``).
+:class:`SwapRefinedScheduler` wraps any base scheduler with this
+refinement, giving an anytime upgrade path between RCKK and the exact
+search.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import ValidationError
+from repro.scheduling.base import (
+    SchedulingAlgorithm,
+    SchedulingProblem,
+    ScheduleResult,
+)
+from repro.scheduling.rckk import RCKKScheduler
+
+
+def refine_assignment(
+    rates: List[float],
+    assignment: List[int],
+    num_ways: int,
+    max_rounds: int = 20,
+) -> Tuple[List[int], int]:
+    """Hill-climb move/swap until the makespan stops improving.
+
+    Parameters
+    ----------
+    rates:
+        Per-item values (request effective rates).
+    assignment:
+        Item -> way indices; modified copies are returned, the input is
+        untouched.
+    num_ways:
+        Number of ways (instances).
+    max_rounds:
+        Bound on improvement rounds.
+
+    Returns
+    -------
+    (assignment, moves)
+        The refined assignment and the number of accepted moves.
+    """
+    if max_rounds < 1:
+        raise ValidationError(f"max_rounds must be >= 1, got {max_rounds!r}")
+    current = list(assignment)
+    sums = [0.0] * num_ways
+    members: List[List[int]] = [[] for _ in range(num_ways)]
+    for idx, way in enumerate(current):
+        sums[way] += rates[idx]
+        members[way].append(idx)
+
+    def makespan_with(changes: Dict[int, float]) -> float:
+        """Makespan if each way's sum moved by the given delta."""
+        return max(
+            sums[w] + changes.get(w, 0.0) for w in range(num_ways)
+        )
+
+    moves = 0
+    for _ in range(max_rounds):
+        worst = max(range(num_ways), key=lambda w: sums[w])
+        makespan = sums[worst]
+        best_delta = 0.0
+        best_action: Optional[Tuple[str, int, int, int]] = None
+
+        for idx in members[worst]:
+            r = rates[idx]
+            for target in range(num_ways):
+                if target == worst:
+                    continue
+                # Move idx -> target.
+                delta = makespan - makespan_with({worst: -r, target: +r})
+                if delta > best_delta + 1e-12:
+                    best_delta = delta
+                    best_action = ("move", idx, -1, target)
+                # Swap idx with one item of target.
+                for jdx in members[target]:
+                    s = rates[jdx]
+                    if s >= r:
+                        continue  # swap must shrink the worst way
+                    delta = makespan - makespan_with(
+                        {worst: s - r, target: r - s}
+                    )
+                    if delta > best_delta + 1e-12:
+                        best_delta = delta
+                        best_action = ("swap", idx, jdx, target)
+
+        if best_action is None:
+            break
+        kind, idx, jdx, target = best_action
+        if kind == "move":
+            members[worst].remove(idx)
+            members[target].append(idx)
+            sums[worst] -= rates[idx]
+            sums[target] += rates[idx]
+            current[idx] = target
+        else:
+            members[worst].remove(idx)
+            members[target].remove(jdx)
+            members[worst].append(jdx)
+            members[target].append(idx)
+            sums[worst] += rates[jdx] - rates[idx]
+            sums[target] += rates[idx] - rates[jdx]
+            current[idx], current[jdx] = target, worst
+        moves += 1
+    return current, moves
+
+
+class SwapRefinedScheduler(SchedulingAlgorithm):
+    """A base scheduler followed by move/swap makespan refinement.
+
+    Parameters
+    ----------
+    base:
+        The scheduler producing the starting assignment (default RCKK).
+    max_rounds:
+        Refinement rounds per VNF.
+    """
+
+    name = "SwapRefined"
+
+    def __init__(
+        self,
+        base: Optional[SchedulingAlgorithm] = None,
+        max_rounds: int = 20,
+    ) -> None:
+        self._base = base if base is not None else RCKKScheduler()
+        self._max_rounds = max_rounds
+        self.name = f"SwapRefined({self._base.name})"
+
+    def schedule(self, problem: SchedulingProblem) -> ScheduleResult:
+        base_result = self._base.schedule(problem)
+        ids = [r.request_id for r in problem.requests]
+        rates = problem.effective_rates()
+        assignment = [base_result.assignment[rid] for rid in ids]
+        refined, moves = refine_assignment(
+            rates, assignment, problem.num_instances, self._max_rounds
+        )
+        result = ScheduleResult(
+            assignment={rid: way for rid, way in zip(ids, refined)},
+            problem=problem,
+            iterations=base_result.iterations + moves,
+            algorithm=self.name,
+        )
+        result.validate()
+        return result

@@ -1,0 +1,32 @@
+"""Packet-level discrete-event simulation of VNF chains.
+
+The paper's evaluation is simulation-driven; this package provides an
+independent packet-level simulator whose measured statistics converge to
+the :mod:`repro.queueing` closed forms — the model-validation ablation of
+DESIGN.md (abl-jackson):
+
+* :mod:`repro.sim.events` — the event queue.
+* :mod:`repro.sim.engine` — the simulation clock/dispatcher.
+* :mod:`repro.sim.entities` — FCFS exponential servers (service
+  instances) and Poisson packet sources.
+* :mod:`repro.sim.simulator` — :class:`ChainSimulator`: requests flow
+  through their chains' scheduled instances, with end-to-end loss and
+  NACK retransmission feedback.
+* :mod:`repro.sim.metrics` — measurement collectors (per-instance
+  sojourn, utilization; per-request end-to-end latency).
+"""
+
+from repro.sim.engine import SimulationEngine
+from repro.sim.events import Event, EventQueue
+from repro.sim.metrics import InstanceStats, SimulationMetrics
+from repro.sim.simulator import ChainSimulator, SimulationConfig
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "SimulationEngine",
+    "ChainSimulator",
+    "SimulationConfig",
+    "SimulationMetrics",
+    "InstanceStats",
+]

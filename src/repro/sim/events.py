@@ -1,0 +1,56 @@
+"""Event primitives for the discrete-event engine.
+
+Events are ordered by ``(time, sequence)``; the monotone sequence number
+makes the ordering total and the simulation deterministic even when many
+events share a timestamp.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.exceptions import SimulationError
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """A scheduled callback."""
+
+    time: float
+    sequence: int
+    action: Callable[[], None] = field(compare=False)
+
+
+class EventQueue:
+    """A time-ordered event queue (binary heap)."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` at ``time``."""
+        if time < 0.0:
+            raise SimulationError(f"event time must be non-negative, got {time!r}")
+        event = Event(time=time, sequence=next(self._counter), action=action)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        if not self._heap:
+            raise SimulationError("pop from an empty event queue")
+        return heapq.heappop(self._heap)
+
+    def peek_time(self) -> Optional[float]:
+        """The earliest scheduled time, or ``None`` when empty."""
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,34 @@
+"""Datacenter network topologies.
+
+The paper models the datacenter as a connected graph ``G = (V, E)`` of
+computing nodes joined through switch nodes, assumes switch capacity and
+bandwidth are plentiful, and charges a flat latency ``L`` (propagation +
+transmission) per inter-node hop (Eq. 16).  This package provides:
+
+* :mod:`repro.topology.graph` — the core :class:`DatacenterTopology`
+  (compute nodes with capacities, switches, weighted links).
+* :mod:`repro.topology.fattree` — k-ary fat-tree generator.
+* :mod:`repro.topology.leafspine` — leaf-spine generator.
+* :mod:`repro.topology.random_topology` — SNDlib-style random connected
+  graphs (the paper's 4-50 node topologies, substituted per DESIGN.md).
+* :mod:`repro.topology.routing` — shortest-path routing and hop/latency
+  queries.
+"""
+
+from repro.topology.bcube import bcube
+from repro.topology.fattree import fat_tree
+from repro.topology.graph import ComputeNode, DatacenterTopology, Switch
+from repro.topology.leafspine import leaf_spine
+from repro.topology.random_topology import random_datacenter
+from repro.topology.routing import Router
+
+__all__ = [
+    "DatacenterTopology",
+    "ComputeNode",
+    "Switch",
+    "fat_tree",
+    "leaf_spine",
+    "bcube",
+    "random_datacenter",
+    "Router",
+]

@@ -1,0 +1,68 @@
+"""BCube(n, k) topology generator — a server-centric datacenter fabric.
+
+BCube recursively builds levels of n-port switches: BCube(n, 0) is n
+servers on one switch; BCube(n, k) is n BCube(n, k-1) cells whose
+servers each also connect to one of ``n^k`` level-k switches.  Total:
+``n^(k+1)`` servers, each with ``k+1`` links, and ``(k+1) n^k``
+switches.  Included as a third fabric family (alongside fat-tree and
+leaf-spine) for topology-sensitivity studies.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.exceptions import ValidationError
+from repro.topology.graph import DEFAULT_LINK_LATENCY, DatacenterTopology
+
+
+def bcube(
+    n: int,
+    k: int,
+    capacity: float = 1000.0,
+    capacity_fn: Optional[Callable[[int], float]] = None,
+    link_latency: float = DEFAULT_LINK_LATENCY,
+) -> DatacenterTopology:
+    """Build a BCube(n, k) fabric.
+
+    Parameters
+    ----------
+    n:
+        Switch port count / cell fan-out; must be >= 2.
+    k:
+        Recursion depth; 0 gives the base cell.  Keep ``n^(k+1)``
+        reasonable — BCube(4, 1) is 16 servers, BCube(4, 2) is 64.
+    capacity / capacity_fn:
+        Uniform capacity, or per-server capacity by server index.
+    link_latency:
+        Per-link latency.
+    """
+    if n < 2:
+        raise ValidationError(f"BCube n must be >= 2, got {n!r}")
+    if k < 0:
+        raise ValidationError(f"BCube k must be >= 0, got {k!r}")
+    num_servers = n ** (k + 1)
+    if num_servers > 4096:
+        raise ValidationError(
+            f"BCube({n}, {k}) has {num_servers} servers; refusing > 4096"
+        )
+    topo = DatacenterTopology(name=f"bcube-{n}-{k}")
+    for s in range(num_servers):
+        cap = capacity_fn(s) if capacity_fn else capacity
+        topo.add_compute_node(f"server{s}", cap)
+    # Level-l switch j connects the servers whose base-n digit l equals
+    # every value while the other digits identify the switch.
+    for level in range(k + 1):
+        num_switches = n**k
+        stride = n**level
+        for j in range(num_switches):
+            switch_key = f"sw{level}-{j}"
+            topo.add_switch(switch_key)
+            # Decompose j into the k digits excluding position `level`.
+            high, low = divmod(j, stride)
+            base = high * stride * n + low
+            for port in range(n):
+                server = base + port * stride
+                topo.add_link(switch_key, f"server{server}", latency=link_latency)
+    topo.validate()
+    return topo

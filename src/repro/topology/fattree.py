@@ -1,0 +1,92 @@
+"""k-ary fat-tree topology generator.
+
+The canonical datacenter fabric: ``k`` pods, each with ``k/2`` edge and
+``k/2`` aggregation switches, ``(k/2)^2`` core switches, and ``k^3/4``
+servers.  Provides the high bisection bandwidth the paper assumes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.exceptions import ValidationError
+from repro.topology.graph import (
+    DEFAULT_LINK_LATENCY,
+    DatacenterTopology,
+)
+
+
+def fat_tree(
+    k: int,
+    capacity: float = 1000.0,
+    capacity_fn: Optional[Callable[[int], float]] = None,
+    link_latency: float = DEFAULT_LINK_LATENCY,
+    max_servers: Optional[int] = None,
+) -> DatacenterTopology:
+    """Build a k-ary fat tree.
+
+    Parameters
+    ----------
+    k:
+        Pod count; must be even and >= 2.
+    capacity:
+        Uniform server capacity ``A_v`` when ``capacity_fn`` is not given.
+    capacity_fn:
+        Optional per-server capacity by server index (for heterogeneous
+        instances like the paper's 1-5000 unit range).
+    link_latency:
+        Per-link latency (the constant ``L`` building block).
+    max_servers:
+        Truncate to this many servers (keeps the fabric; useful for the
+        paper's 4-50 node sweeps without jumping in k-granularity).
+    """
+    if k < 2 or k % 2 != 0:
+        raise ValidationError(f"fat-tree k must be even and >= 2, got {k!r}")
+    topo = DatacenterTopology(name=f"fat-tree-k{k}")
+    half = k // 2
+
+    core = []
+    for i in range(half * half):
+        key = f"core{i}"
+        topo.add_switch(key)
+        core.append(key)
+
+    server_index = 0
+    server_budget = max_servers if max_servers is not None else k * half * half
+    for pod in range(k):
+        aggs = []
+        edges = []
+        for a in range(half):
+            key = f"pod{pod}-agg{a}"
+            topo.add_switch(key)
+            aggs.append(key)
+        for e in range(half):
+            key = f"pod{pod}-edge{e}"
+            topo.add_switch(key)
+            edges.append(key)
+        # Full bipartite agg <-> edge inside the pod.
+        for agg in aggs:
+            for edge in edges:
+                topo.add_link(agg, edge, latency=link_latency)
+        # Each aggregation switch uplinks to half of the core.
+        for a, agg in enumerate(aggs):
+            for c in range(half):
+                topo.add_link(agg, core[a * half + c], latency=link_latency)
+        # Servers hang off edge switches.
+        for edge in edges:
+            for _ in range(half):
+                if server_index >= server_budget:
+                    break
+                cap = capacity_fn(server_index) if capacity_fn else capacity
+                key = f"server{server_index}"
+                topo.add_compute_node(key, cap)
+                topo.add_link(edge, key, latency=link_latency)
+                server_index += 1
+
+    if server_index == 0:
+        raise ValidationError(
+            "fat-tree configuration produced no servers; "
+            "check max_servers"
+        )
+    topo.validate()
+    return topo

@@ -1,0 +1,66 @@
+"""Leaf-spine (two-tier Clos) topology generator.
+
+Every leaf switch connects to every spine switch; servers hang off the
+leaves.  The default dimensioning gives full bisection bandwidth, matching
+the paper's "sufficient switch capacities" assumption.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.exceptions import ValidationError
+from repro.topology.graph import DEFAULT_LINK_LATENCY, DatacenterTopology
+
+
+def leaf_spine(
+    num_leaves: int,
+    num_spines: int,
+    servers_per_leaf: int,
+    capacity: float = 1000.0,
+    capacity_fn: Optional[Callable[[int], float]] = None,
+    link_latency: float = DEFAULT_LINK_LATENCY,
+) -> DatacenterTopology:
+    """Build a leaf-spine fabric.
+
+    Parameters
+    ----------
+    num_leaves, num_spines:
+        Switch counts; both must be >= 1.
+    servers_per_leaf:
+        Compute nodes attached to each leaf; must be >= 1.
+    capacity / capacity_fn:
+        Uniform capacity, or per-server capacity by global server index.
+    link_latency:
+        Per-link latency.
+    """
+    if num_leaves < 1:
+        raise ValidationError(f"need >= 1 leaf, got {num_leaves!r}")
+    if num_spines < 1:
+        raise ValidationError(f"need >= 1 spine, got {num_spines!r}")
+    if servers_per_leaf < 1:
+        raise ValidationError(
+            f"need >= 1 server per leaf, got {servers_per_leaf!r}"
+        )
+    topo = DatacenterTopology(
+        name=f"leaf-spine-{num_leaves}x{num_spines}"
+    )
+    spines = []
+    for s in range(num_spines):
+        key = f"spine{s}"
+        topo.add_switch(key)
+        spines.append(key)
+    server_index = 0
+    for l in range(num_leaves):
+        leaf = f"leaf{l}"
+        topo.add_switch(leaf)
+        for spine in spines:
+            topo.add_link(leaf, spine, latency=link_latency)
+        for _ in range(servers_per_leaf):
+            cap = capacity_fn(server_index) if capacity_fn else capacity
+            key = f"server{server_index}"
+            topo.add_compute_node(key, cap)
+            topo.add_link(leaf, key, latency=link_latency)
+            server_index += 1
+    topo.validate()
+    return topo

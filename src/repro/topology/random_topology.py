@@ -1,0 +1,95 @@
+"""SNDlib-style random connected datacenter topologies.
+
+The paper adopts connected graphs "based on [SNDlib]" with 4-50 compute
+nodes and per-node capacities scaling from 1 to 5000 units.  SNDlib
+instances themselves are WAN designs; what the placement/scheduling layer
+consumes is only (a) the set of node capacities and (b) connectivity with
+per-hop latency.  This generator reproduces exactly those properties:
+a random connected graph (random spanning tree + extra random edges)
+whose compute nodes draw capacities from a configurable range.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.topology.graph import DEFAULT_LINK_LATENCY, DatacenterTopology
+
+
+def random_datacenter(
+    num_nodes: int,
+    capacity_range: Tuple[float, float] = (1.0, 5000.0),
+    extra_edge_probability: float = 0.3,
+    link_latency: float = DEFAULT_LINK_LATENCY,
+    rng: Optional[np.random.Generator] = None,
+    capacities: Optional[Sequence[float]] = None,
+) -> DatacenterTopology:
+    """Build a random connected topology of compute nodes.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of compute nodes (the paper sweeps 4-50).
+    capacity_range:
+        Inclusive ``(low, high)`` uniform range for ``A_v`` when explicit
+        ``capacities`` are not given.
+    extra_edge_probability:
+        Probability of adding each non-tree edge; 0 yields a tree,
+        1 a clique.
+    link_latency:
+        Per-link latency ``L`` component.
+    rng:
+        Seeded generator for reproducibility; defaults to a fresh
+        ``numpy.random.default_rng()``.
+    capacities:
+        Explicit per-node capacities (overrides ``capacity_range``).
+
+    Notes
+    -----
+    Connectivity is guaranteed by first wiring a random spanning tree
+    (each node ``i > 0`` links to a uniformly random predecessor), then
+    sprinkling extra edges.
+    """
+    if num_nodes < 1:
+        raise ValidationError(f"need >= 1 node, got {num_nodes!r}")
+    low, high = capacity_range
+    if low <= 0.0 or high < low:
+        raise ValidationError(
+            f"capacity range must satisfy 0 < low <= high, got {capacity_range!r}"
+        )
+    if not 0.0 <= extra_edge_probability <= 1.0:
+        raise ValidationError(
+            f"edge probability must be in [0, 1], got {extra_edge_probability!r}"
+        )
+    if capacities is not None and len(capacities) != num_nodes:
+        raise ValidationError(
+            f"{len(capacities)} capacities given for {num_nodes} nodes"
+        )
+    if rng is None:
+        rng = np.random.default_rng()
+
+    topo = DatacenterTopology(name=f"random-{num_nodes}")
+    for i in range(num_nodes):
+        if capacities is not None:
+            cap = float(capacities[i])
+        else:
+            cap = float(rng.uniform(low, high))
+        topo.add_compute_node(f"node{i}", cap)
+
+    # Random spanning tree.
+    for i in range(1, num_nodes):
+        j = int(rng.integers(0, i))
+        topo.add_link(f"node{i}", f"node{j}", latency=link_latency)
+    # Extra random edges.
+    for i in range(num_nodes):
+        for j in range(i + 1, num_nodes):
+            if topo.graph.has_edge(f"node{i}", f"node{j}"):
+                continue
+            if rng.uniform() < extra_edge_probability:
+                topo.add_link(f"node{i}", f"node{j}", latency=link_latency)
+
+    topo.validate()
+    return topo

@@ -1,0 +1,90 @@
+"""Shortest-path routing over a datacenter topology.
+
+Routes minimize total link latency; :class:`Router` caches per-source
+Dijkstra runs so request-path queries during evaluation stay cheap.
+Compute-to-compute queries are what Eq. (16) consumes: the latency of a
+request's inter-node transfers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import networkx as nx
+
+from repro.exceptions import ValidationError
+from repro.topology.graph import DatacenterTopology
+
+
+class Router:
+    """Latency-weighted shortest-path queries over a topology."""
+
+    def __init__(self, topology: DatacenterTopology) -> None:
+        topology.validate()
+        self._topology = topology
+        self._cache: Dict[str, Tuple[Dict[str, float], Dict[str, list]]] = {}
+
+    def _run_dijkstra(self, source: str) -> Tuple[Dict[str, float], Dict[str, list]]:
+        if source not in self._topology.graph:
+            raise ValidationError(f"unknown vertex {source!r}")
+        if source not in self._cache:
+            distances, paths = nx.single_source_dijkstra(
+                self._topology.graph, source, weight="latency"
+            )
+            self._cache[source] = (distances, paths)
+        return self._cache[source]
+
+    def path(self, source: str, target: str) -> List[str]:
+        """The minimum-latency vertex path from ``source`` to ``target``."""
+        _, paths = self._run_dijkstra(source)
+        try:
+            return list(paths[target])
+        except KeyError:
+            raise ValidationError(
+                f"no path from {source!r} to {target!r}"
+            ) from None
+
+    def latency(self, source: str, target: str) -> float:
+        """Total link latency along the shortest path."""
+        distances, _ = self._run_dijkstra(source)
+        try:
+            return float(distances[target])
+        except KeyError:
+            raise ValidationError(
+                f"no path from {source!r} to {target!r}"
+            ) from None
+
+    def hop_count(self, source: str, target: str) -> int:
+        """Number of links on the shortest path."""
+        return max(0, len(self.path(source, target)) - 1)
+
+    def path_latency(self, waypoints: Sequence[str]) -> float:
+        """Total latency visiting ``waypoints`` in order via shortest paths.
+
+        This is the communication-latency term of Eq. (16) for a request
+        whose chain traverses the given sequence of compute nodes.
+        """
+        total = 0.0
+        for a, b in zip(waypoints[:-1], waypoints[1:]):
+            if a != b:
+                total += self.latency(a, b)
+        return total
+
+    def average_pairwise_latency(self) -> float:
+        """Mean shortest-path latency over compute-node pairs.
+
+        A topology-derived estimate of the flat per-hop constant ``L``
+        used by Eq. (16) when a caller wants ``L`` calibrated to an actual
+        fabric rather than supplied as a parameter.
+        """
+        nodes = [n.key for n in self._topology.compute_nodes()]
+        if len(nodes) < 2:
+            return 0.0
+        total = 0.0
+        pairs = 0
+        for i, a in enumerate(nodes):
+            distances, _ = self._run_dijkstra(a)
+            for b in nodes[i + 1 :]:
+                total += distances[b]
+                pairs += 1
+        return total / pairs

@@ -1,0 +1,294 @@
+"""Seeded random workload generation following the paper's setup.
+
+Section V-A calibration reproduced here:
+
+* VNF count 6-30, anchored on the six common functions; counts above the
+  catalog size wrap around as replicas (a replica is "a new VNF").
+* Each request traverses a chain of at most 6 VNFs.
+* Requests 30-1000, external Poisson rates ``lambda`` in 1-100 pps.
+* Delivery probability ``P`` in 0.98-1.0.
+* Node capacities 1-5000 units.
+* Instance counts ``M_f`` 1-25, bounded by the number of requests using
+  the VNF (Eq. 3) when requests are generated afterwards.
+
+Everything is driven by an explicit ``numpy.random.Generator`` so every
+experiment is reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.nfv.chain import MAX_CHAIN_LENGTH, ServiceChain
+from repro.nfv.request import Request
+from repro.nfv.vnf import VNF
+from repro.workload.catalog import COMMON_SIX, VNF_CATALOG, spec_by_name
+
+
+@dataclass
+class GeneratedWorkload:
+    """A complete problem instance produced by :class:`WorkloadGenerator`."""
+
+    vnfs: List[VNF]
+    chains: List[ServiceChain]
+    requests: List[Request]
+    capacities: Dict[str, float]
+
+    @property
+    def total_demand(self) -> float:
+        """Aggregate placement demand ``sum_f M_f D_f``."""
+        return sum(f.total_demand for f in self.vnfs)
+
+    @property
+    def total_capacity(self) -> float:
+        """Aggregate node capacity ``sum_v A_v``."""
+        return sum(self.capacities.values())
+
+
+class WorkloadGenerator:
+    """Random problem-instance generator with the paper's parameter ranges.
+
+    Parameters
+    ----------
+    rng:
+        Seeded generator; a fresh default generator when omitted.
+    """
+
+    def __init__(self, rng: Optional[np.random.Generator] = None) -> None:
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    # ------------------------------------------------------------------
+    # VNFs
+    # ------------------------------------------------------------------
+    def vnfs(
+        self,
+        count: int,
+        instance_range: Tuple[int, int] = (1, 25),
+        include_common_six: bool = True,
+    ) -> List[VNF]:
+        """Sample ``count`` VNFs from the catalog.
+
+        The paper's six anchor VNFs come first (when requested and they
+        fit); further picks are drawn without replacement from the rest
+        of the catalog, wrapping into replicas past the catalog size.
+        """
+        if count < 1:
+            raise ConfigurationError(f"VNF count must be >= 1, got {count!r}")
+        lo, hi = instance_range
+        if not 1 <= lo <= hi:
+            raise ConfigurationError(
+                f"instance range must satisfy 1 <= lo <= hi, got {instance_range!r}"
+            )
+        names: List[str] = []
+        if include_common_six:
+            names.extend(COMMON_SIX[: min(count, len(COMMON_SIX))])
+        pool = [s.name for s in VNF_CATALOG if s.name not in names]
+        while len(names) < count:
+            need = count - len(names)
+            if pool:
+                take = min(need, len(pool))
+                picks = self._rng.choice(len(pool), size=take, replace=False)
+                for i in sorted(int(p) for p in picks):
+                    names.append(pool[i])
+                pool = [n for n in pool if n not in names]
+            else:
+                # Catalog exhausted: wrap around as replicas.
+                base = names[len(names) % len(VNF_CATALOG)].split("#")[0]
+                replica_index = sum(
+                    1 for n in names if n.split("#")[0] == base
+                )
+                names.append(f"{base}#{replica_index}")
+        result = []
+        for name in names:
+            base = name.split("#")[0]
+            spec = spec_by_name(base)
+            m = int(self._rng.integers(lo, hi + 1))
+            vnf = spec.instantiate(num_instances=m)
+            if name != base:
+                vnf = VNF(
+                    name=name,
+                    demand_per_instance=vnf.demand_per_instance,
+                    num_instances=vnf.num_instances,
+                    service_rate=vnf.service_rate,
+                    category=vnf.category,
+                )
+            result.append(vnf)
+        return result
+
+    # ------------------------------------------------------------------
+    # Chains
+    # ------------------------------------------------------------------
+    def chains(
+        self,
+        vnfs: Sequence[VNF],
+        count: int,
+        max_length: int = MAX_CHAIN_LENGTH,
+    ) -> List[ServiceChain]:
+        """Sample ``count`` service chains over the given VNFs.
+
+        Each chain draws a uniform length in ``[1, min(max_length, |F|)]``
+        and a uniformly random VNF subset in random order, never
+        revisiting a VNF (the ``U_r^f`` indicator is binary).
+        """
+        if count < 1:
+            raise ConfigurationError(f"chain count must be >= 1, got {count!r}")
+        if not vnfs:
+            raise ConfigurationError("cannot build chains over zero VNFs")
+        limit = min(max_length, len(vnfs))
+        names = [f.name for f in vnfs]
+        out = []
+        for _ in range(count):
+            length = int(self._rng.integers(1, limit + 1))
+            picks = self._rng.choice(len(names), size=length, replace=False)
+            out.append(ServiceChain([names[int(i)] for i in picks]))
+        return out
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    def requests(
+        self,
+        chains: Sequence[ServiceChain],
+        count: int,
+        rate_range: Tuple[float, float] = (1.0, 100.0),
+        delivery_probability: float = 1.0,
+        prefix: str = "r",
+    ) -> List[Request]:
+        """Sample ``count`` requests over the given chains.
+
+        Each request picks a uniformly random chain and a uniform
+        external rate in ``rate_range`` (the paper's 1-100 pps).
+        """
+        if count < 1:
+            raise ConfigurationError(f"request count must be >= 1, got {count!r}")
+        if not chains:
+            raise ConfigurationError("cannot build requests over zero chains")
+        lo, hi = rate_range
+        if not 0.0 < lo <= hi:
+            raise ConfigurationError(
+                f"rate range must satisfy 0 < lo <= hi, got {rate_range!r}"
+            )
+        out = []
+        for i in range(count):
+            chain = chains[int(self._rng.integers(0, len(chains)))]
+            rate = float(self._rng.uniform(lo, hi))
+            out.append(
+                Request(
+                    request_id=f"{prefix}{i}",
+                    chain=chain,
+                    arrival_rate=rate,
+                    delivery_probability=delivery_probability,
+                )
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # Node capacities
+    # ------------------------------------------------------------------
+    def capacities(
+        self,
+        num_nodes: int,
+        capacity_range: Tuple[float, float] = (1.0, 5000.0),
+        prefix: str = "node",
+    ) -> Dict[str, float]:
+        """Sample heterogeneous node capacities (the paper's 1-5000 units)."""
+        if num_nodes < 1:
+            raise ConfigurationError(f"node count must be >= 1, got {num_nodes!r}")
+        lo, hi = capacity_range
+        if not 0.0 < lo <= hi:
+            raise ConfigurationError(
+                f"capacity range must satisfy 0 < lo <= hi, got {capacity_range!r}"
+            )
+        return {
+            f"{prefix}{i}": float(self._rng.uniform(lo, hi))
+            for i in range(num_nodes)
+        }
+
+    def capacities_fitting(
+        self,
+        num_nodes: int,
+        vnfs: Sequence[VNF],
+        headroom: float = 1.3,
+        spread: float = 0.5,
+        prefix: str = "node",
+    ) -> Dict[str, float]:
+        """Capacities sized so the VNF set *just* fits (tight instances).
+
+        Total capacity is ``headroom`` times total demand, split across
+        ``num_nodes`` nodes with multiplicative jitter ``1 +/- spread``;
+        every node is also guaranteed to fit the largest single VNF so the
+        instance is feasible by construction.
+
+        These tight instances are where the paper's utilization gaps show:
+        with vast headroom every algorithm looks good.
+        """
+        if num_nodes < 1:
+            raise ConfigurationError(f"node count must be >= 1, got {num_nodes!r}")
+        if headroom < 1.0:
+            raise ConfigurationError(
+                f"headroom must be >= 1, got {headroom!r}"
+            )
+        if not 0.0 <= spread < 1.0:
+            raise ConfigurationError(f"spread must be in [0, 1), got {spread!r}")
+        total_demand = sum(f.total_demand for f in vnfs)
+        biggest = max(f.total_demand for f in vnfs)
+        base = headroom * total_demand / num_nodes
+        raw = [
+            base * (1.0 + float(self._rng.uniform(-spread, spread)))
+            for _ in range(num_nodes)
+        ]
+        # Rescale so the jitter never erodes the headroom guarantee, then
+        # clamp each node to fit the largest single VNF (clamping only
+        # grows the total, so feasibility is preserved by construction).
+        scale = headroom * total_demand / sum(raw)
+        return {
+            f"{prefix}{i}": max(raw[i] * scale, biggest * 1.05)
+            for i in range(num_nodes)
+        }
+
+    # ------------------------------------------------------------------
+    # Whole instances
+    # ------------------------------------------------------------------
+    def workload(
+        self,
+        num_vnfs: int,
+        num_nodes: int,
+        num_requests: int,
+        num_chains: Optional[int] = None,
+        instance_range: Tuple[int, int] = (1, 25),
+        rate_range: Tuple[float, float] = (1.0, 100.0),
+        delivery_probability: float = 1.0,
+        tight_capacities: bool = True,
+        capacity_headroom: float = 1.3,
+    ) -> GeneratedWorkload:
+        """Generate a complete problem instance.
+
+        ``num_chains`` defaults to about one chain per three VNFs (at
+        least one).  ``tight_capacities`` sizes nodes to the demand (see
+        :meth:`capacities_fitting`); otherwise capacities are uniform in
+        the paper's 1-5000 range (instances may then be infeasible —
+        callers doing feasibility studies want exactly that).
+        """
+        vnfs = self.vnfs(num_vnfs, instance_range=instance_range)
+        if num_chains is None:
+            num_chains = max(1, num_vnfs // 3)
+        chains = self.chains(vnfs, num_chains)
+        requests = self.requests(
+            chains,
+            num_requests,
+            rate_range=rate_range,
+            delivery_probability=delivery_probability,
+        )
+        if tight_capacities:
+            caps = self.capacities_fitting(
+                num_nodes, vnfs, headroom=capacity_headroom
+            )
+        else:
+            caps = self.capacities(num_nodes)
+        return GeneratedWorkload(
+            vnfs=vnfs, chains=chains, requests=requests, capacities=caps
+        )

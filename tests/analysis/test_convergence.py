@@ -1,0 +1,101 @@
+"""Unit tests for the sequential convergence tracker."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.convergence import ConvergenceTracker
+from repro.exceptions import ValidationError
+
+
+class TestWelford:
+    def test_mean_and_std_match_numpy(self):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(5.0, 2.0, size=200)
+        tracker = ConvergenceTracker()
+        for s in samples:
+            tracker.add(float(s))
+        assert tracker.mean == pytest.approx(samples.mean())
+        assert tracker.std == pytest.approx(samples.std(ddof=1))
+        assert tracker.count == 200
+
+    def test_no_samples(self):
+        tracker = ConvergenceTracker()
+        with pytest.raises(ValidationError):
+            _ = tracker.mean
+
+    def test_nonfinite_rejected(self):
+        tracker = ConvergenceTracker()
+        with pytest.raises(ValidationError):
+            tracker.add(math.inf)
+
+
+class TestStoppingRule:
+    def test_converges_on_low_variance(self):
+        tracker = ConvergenceTracker(relative_precision=0.05, min_samples=10)
+        rng = np.random.default_rng(1)
+        n = 0
+        while not tracker.converged() and n < 10_000:
+            tracker.add(float(rng.normal(10.0, 0.5)))
+            n += 1
+        assert tracker.converged()
+        lo, hi = tracker.interval()
+        assert lo < 10.0 < hi
+
+    def test_min_samples_enforced(self):
+        tracker = ConvergenceTracker(min_samples=50)
+        for _ in range(49):
+            tracker.add(1.0)
+        assert not tracker.converged()
+        tracker.add(1.0)
+        assert tracker.converged()  # zero variance after min samples
+
+    def test_tighter_precision_needs_more_samples(self):
+        rng = np.random.default_rng(2)
+        samples = [float(rng.normal(10.0, 2.0)) for _ in range(100_000)]
+
+        def samples_to_converge(precision):
+            tracker = ConvergenceTracker(
+                relative_precision=precision, min_samples=10
+            )
+            for i, s in enumerate(samples):
+                tracker.add(s)
+                if tracker.converged():
+                    return i + 1
+            return len(samples)
+
+        assert samples_to_converge(0.005) > samples_to_converge(0.05)
+
+    def test_half_width_shrinks(self):
+        tracker = ConvergenceTracker()
+        rng = np.random.default_rng(3)
+        widths = []
+        for i in range(300):
+            tracker.add(float(rng.normal(0.0, 1.0)))
+            if i in (30, 100, 299):
+                widths.append(tracker.half_width())
+        assert widths[0] > widths[1] > widths[2]
+
+    def test_estimated_samples(self):
+        tracker = ConvergenceTracker(relative_precision=0.01)
+        rng = np.random.default_rng(4)
+        for _ in range(50):
+            tracker.add(float(rng.normal(10.0, 2.0)))
+        estimate = tracker.estimated_samples_needed()
+        # (1.96 * 2 / 0.1)^2 ~ 1537.
+        assert 800 < estimate < 3000
+
+
+class TestValidation:
+    def test_bad_precision(self):
+        with pytest.raises(ValidationError):
+            ConvergenceTracker(relative_precision=0.0)
+
+    def test_bad_confidence(self):
+        with pytest.raises(ValidationError):
+            ConvergenceTracker(confidence=0.8)
+
+    def test_bad_min_samples(self):
+        with pytest.raises(ValidationError):
+            ConvergenceTracker(min_samples=1)

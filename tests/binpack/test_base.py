@@ -1,0 +1,143 @@
+"""Unit tests for the bin-packing data model."""
+
+import pytest
+
+from repro.binpack.base import (
+    Bin,
+    Item,
+    PackingResult,
+    check_feasible_sizes,
+    find_fitting,
+    make_bins,
+    make_items,
+    sorted_decreasing,
+)
+from repro.exceptions import InfeasiblePlacementError, ValidationError
+
+
+class TestItem:
+    def test_valid(self):
+        assert Item(key="a", size=1.5).size == 1.5
+
+    def test_zero_size_allowed(self):
+        assert Item(key="z", size=0.0).size == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            Item(key="a", size=-1.0)
+
+
+class TestBin:
+    def test_add_and_residual(self):
+        b = Bin("b0", 10.0)
+        b.add(Item("a", 4.0))
+        assert b.used == pytest.approx(4.0)
+        assert b.residual == pytest.approx(6.0)
+        assert b.utilization == pytest.approx(0.4)
+
+    def test_fits_boundary(self):
+        b = Bin("b0", 10.0)
+        assert b.fits(Item("a", 10.0))
+        assert not b.fits(Item("a", 10.1))
+
+    def test_overflow_rejected(self):
+        b = Bin("b0", 5.0)
+        b.add(Item("a", 3.0))
+        with pytest.raises(InfeasiblePlacementError):
+            b.add(Item("b", 3.0))
+
+    def test_remove(self):
+        b = Bin("b0", 5.0)
+        item = Item("a", 3.0)
+        b.add(item)
+        b.remove(item)
+        assert b.is_empty
+
+    def test_zero_capacity_bin(self):
+        b = Bin("b0", 0.0)
+        assert b.utilization == 0.0
+        assert b.fits(Item("a", 0.0))
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValidationError):
+            Bin("b0", -1.0)
+
+
+class TestPackingResult:
+    def _packed(self):
+        bins = make_bins([10.0, 5.0, 8.0])
+        items = make_items([6.0, 4.0])
+        bins[0].add(items[0])
+        bins[2].add(items[1])
+        return PackingResult(bins=bins), items
+
+    def test_used_bins(self):
+        result, _ = self._packed()
+        assert result.num_used_bins == 2
+        assert {b.key for b in result.used_bins} == {0, 2}
+
+    def test_average_utilization_over_used_only(self):
+        result, _ = self._packed()
+        assert result.average_utilization == pytest.approx(
+            (6.0 / 10.0 + 4.0 / 8.0) / 2.0
+        )
+
+    def test_total_occupied(self):
+        result, _ = self._packed()
+        assert result.total_occupied_capacity == pytest.approx(18.0)
+
+    def test_assignment_derived(self):
+        result, _ = self._packed()
+        assert result.bin_of(0) == 0
+        assert result.bin_of(1) == 2
+
+    def test_unknown_item_rejected(self):
+        result, _ = self._packed()
+        with pytest.raises(ValidationError):
+            result.bin_of("nope")
+
+    def test_validate_accepts_good_packing(self):
+        result, items = self._packed()
+        result.validate(items)
+
+    def test_validate_detects_missing_item(self):
+        result, items = self._packed()
+        with pytest.raises(ValidationError):
+            result.validate(items + [Item("ghost", 1.0)])
+
+    def test_empty_result(self):
+        result = PackingResult(bins=make_bins([5.0]))
+        assert result.average_utilization == 0.0
+        assert result.num_used_bins == 0
+
+
+class TestHelpers:
+    def test_sorted_decreasing(self):
+        items = make_items([1.0, 5.0, 3.0])
+        sizes = [i.size for i in sorted_decreasing(items)]
+        assert sizes == [5.0, 3.0, 1.0]
+
+    def test_sorted_decreasing_deterministic_ties(self):
+        items = [Item("b", 2.0), Item("a", 2.0)]
+        keys = [i.key for i in sorted_decreasing(items)]
+        assert keys == sorted(keys, key=repr)
+
+    def test_check_feasible_passes(self):
+        check_feasible_sizes(make_items([3.0, 4.0]), make_bins([5.0, 5.0]))
+
+    def test_check_feasible_oversized_item(self):
+        with pytest.raises(InfeasiblePlacementError):
+            check_feasible_sizes(make_items([6.0]), make_bins([5.0]))
+
+    def test_check_feasible_total_overflow(self):
+        with pytest.raises(InfeasiblePlacementError):
+            check_feasible_sizes(make_items([4.0, 4.0]), make_bins([5.0]))
+
+    def test_check_feasible_no_bins(self):
+        with pytest.raises(InfeasiblePlacementError):
+            check_feasible_sizes(make_items([1.0]), [])
+
+    def test_find_fitting(self):
+        bins = make_bins([2.0, 5.0])
+        assert find_fitting(bins, Item("a", 3.0)).key == 1
+        assert find_fitting(bins, Item("a", 6.0)) is None

@@ -1,0 +1,94 @@
+"""Property-based tests for the bin-packing substrate (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.binpack import (
+    best_fit_decreasing,
+    first_fit_decreasing,
+    worst_fit_decreasing,
+)
+from repro.binpack.base import make_bins, make_items
+from repro.binpack.lower_bounds import min_bins_possible
+from repro.exceptions import InfeasiblePlacementError
+
+# Items small enough relative to bins that total volume fits comfortably.
+sizes_strategy = st.lists(
+    st.floats(min_value=0.01, max_value=3.0, allow_nan=False),
+    min_size=1,
+    max_size=25,
+)
+
+PACKERS = [first_fit_decreasing, best_fit_decreasing, worst_fit_decreasing]
+
+
+@pytest.mark.parametrize("packer", PACKERS)
+@given(sizes=sizes_strategy)
+@settings(max_examples=40, deadline=None)
+def test_every_item_packed_exactly_once(packer, sizes):
+    items = make_items(sizes)
+    # Generous bins: one per item, each fitting the largest item.
+    bins = make_bins([3.0] * len(sizes))
+    result = packer(items, bins)
+    result.validate(items)
+
+
+@pytest.mark.parametrize("packer", PACKERS)
+@given(sizes=sizes_strategy)
+@settings(max_examples=40, deadline=None)
+def test_capacity_never_exceeded(packer, sizes):
+    items = make_items(sizes)
+    bins = make_bins([3.5] * len(sizes))
+    result = packer(items, bins)
+    for b in result.bins:
+        assert b.used <= b.capacity + 1e-9
+
+
+@given(sizes=sizes_strategy)
+@settings(max_examples=40, deadline=None)
+def test_heuristics_respect_lower_bound(sizes):
+    caps = [4.0] * len(sizes)
+    bound = min_bins_possible(sizes, caps)
+    for packer in PACKERS:
+        result = packer(make_items(sizes), make_bins(caps))
+        assert result.num_used_bins >= bound
+
+
+@given(sizes=sizes_strategy)
+@settings(max_examples=40, deadline=None)
+def test_ffd_within_two_of_continuous_bound(sizes):
+    """FFD's classic guarantee (loose form) on uniform bins.
+
+    FFD <= (11/9) OPT + 1 <= (11/9) bound + 1; we assert the looser
+    2 * bound + 1 which must always hold.
+    """
+    caps = [4.0] * (len(sizes) * 2)
+    bound = min_bins_possible(sizes, caps[: len(sizes)])
+    result = first_fit_decreasing(make_items(sizes), make_bins(caps))
+    assert result.num_used_bins <= 2 * bound + 1
+
+
+@given(sizes=sizes_strategy)
+@settings(max_examples=40, deadline=None)
+def test_best_fit_never_uses_more_volume_than_worst_fit_spreads(sizes):
+    """BFD consolidates: it never uses more bins than WFD."""
+    bfd = best_fit_decreasing(make_items(sizes), make_bins([4.0] * len(sizes)))
+    wfd = worst_fit_decreasing(make_items(sizes), make_bins([4.0] * len(sizes)))
+    assert bfd.num_used_bins <= wfd.num_used_bins
+
+
+@given(
+    sizes=st.lists(
+        st.floats(min_value=5.0, max_value=10.0, allow_nan=False),
+        min_size=1,
+        max_size=5,
+    )
+)
+@settings(max_examples=20, deadline=None)
+def test_oversized_items_always_raise(sizes):
+    items = make_items(sizes)
+    bins = make_bins([4.0] * 10)  # every item exceeds every bin
+    for packer in PACKERS:
+        with pytest.raises(InfeasiblePlacementError):
+            packer(items, make_bins([4.0] * 10))

@@ -1,0 +1,72 @@
+"""Unit tests for the bin-count lower bounds."""
+
+import pytest
+
+from repro.binpack.lower_bounds import (
+    best_l2_lower_bound,
+    continuous_lower_bound,
+    l2_lower_bound,
+    min_bins_possible,
+)
+from repro.exceptions import ValidationError
+
+
+class TestContinuousBound:
+    def test_uniform_bins(self):
+        # Total 10 over capacity-4 bins -> at least 3 bins.
+        assert continuous_lower_bound([4.0, 3.0, 3.0], [4.0] * 5) == 3
+
+    def test_heterogeneous_prefers_largest(self):
+        # Total 10; one big bin of 10 suffices.
+        assert continuous_lower_bound([5.0, 5.0], [10.0, 2.0, 2.0]) == 1
+
+    def test_zero_items(self):
+        assert continuous_lower_bound([], [5.0]) == 0
+
+    def test_infeasible_raises(self):
+        with pytest.raises(ValidationError):
+            continuous_lower_bound([10.0], [4.0, 4.0])
+
+
+class TestL2Bound:
+    def test_threshold_zero_is_volume(self):
+        assert l2_lower_bound([3.0, 3.0, 3.0], 5.0, threshold=0.0) == 2
+
+    def test_big_items_counted_individually(self):
+        # Threshold 2: items > 3 get private bins.
+        bound = l2_lower_bound([4.0, 4.0, 1.0], 5.0, threshold=2.0)
+        assert bound >= 2
+
+    def test_improves_on_volume(self):
+        # Six items of 0.6 into unit bins: volume says 4, L2 with t=0.5
+        # says 6 (no two 0.6 items share a bin).
+        sizes = [0.6] * 6
+        assert l2_lower_bound(sizes, 1.0, threshold=0.0) == 4
+        assert best_l2_lower_bound(sizes, 1.0) == 6
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValidationError):
+            l2_lower_bound([1.0], 2.0, threshold=1.5)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValidationError):
+            l2_lower_bound([1.0], 0.0)
+
+
+class TestMinBinsPossible:
+    def test_uniform_uses_l2(self):
+        assert min_bins_possible([0.6] * 6, [1.0] * 10) == 6
+
+    def test_heterogeneous_uses_continuous(self):
+        assert min_bins_possible([5.0, 5.0], [10.0, 2.0]) == 1
+
+    def test_bound_is_sound_for_ffd(self):
+        # Any heuristic solution must use at least the bound.
+        from repro.binpack import first_fit_decreasing
+        from repro.binpack.base import make_bins, make_items
+
+        sizes = [3.0, 3.0, 2.0, 2.0, 2.0, 4.0]
+        caps = [5.0] * 6
+        bound = min_bins_possible(sizes, caps)
+        result = first_fit_decreasing(make_items(sizes), make_bins(caps))
+        assert result.num_used_bins >= bound

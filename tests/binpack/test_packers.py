@@ -1,0 +1,130 @@
+"""Unit tests for the classic bin-packing heuristics."""
+
+import pytest
+
+from repro.binpack import (
+    best_fit,
+    best_fit_decreasing,
+    first_fit,
+    first_fit_decreasing,
+    next_fit,
+    worst_fit,
+    worst_fit_decreasing,
+)
+from repro.binpack.base import make_bins, make_items
+from repro.exceptions import InfeasiblePlacementError
+
+ALL_PACKERS = [
+    first_fit,
+    first_fit_decreasing,
+    best_fit,
+    best_fit_decreasing,
+    worst_fit,
+    worst_fit_decreasing,
+    next_fit,
+]
+
+
+@pytest.mark.parametrize("packer", ALL_PACKERS)
+class TestCommonBehaviour:
+    def test_all_items_packed(self, packer):
+        items = make_items([3.0, 2.0, 4.0, 1.0])
+        result = packer(items, make_bins([5.0, 5.0, 5.0, 5.0]))
+        result.validate(items)
+
+    def test_capacity_respected(self, packer):
+        items = make_items([2.0, 2.0, 2.0])
+        result = packer(items, make_bins([4.0, 4.0]))
+        for b in result.bins:
+            assert b.used <= b.capacity + 1e-9
+
+    def test_oversized_item_raises(self, packer):
+        with pytest.raises(InfeasiblePlacementError):
+            packer(make_items([10.0]), make_bins([5.0, 5.0]))
+
+    def test_empty_items(self, packer):
+        result = packer([], make_bins([5.0]))
+        assert result.num_used_bins == 0
+
+
+class TestFirstFit:
+    def test_scans_in_order(self):
+        items = make_items([3.0])
+        result = first_fit(items, make_bins([5.0, 5.0]))
+        assert result.bin_of(0) == 0
+
+    def test_skips_full_bins(self):
+        items = make_items([4.0, 4.0])
+        result = first_fit(items, make_bins([5.0, 5.0]))
+        assert result.bin_of(0) == 0
+        assert result.bin_of(1) == 1
+
+    def test_backfills_earlier_bins(self):
+        items = make_items([4.0, 3.0, 1.0])
+        result = first_fit(items, make_bins([5.0, 5.0]))
+        # The 1.0 item goes back into bin 0 next to the 4.0.
+        assert result.bin_of(2) == 0
+
+    def test_ffd_sorts_first(self):
+        # Unsorted first-fit needs 3 bins; FFD fits in 2.
+        sizes = [2.0, 2.0, 3.0, 3.0]
+        ff = first_fit(make_items(sizes), make_bins([5.0] * 4))
+        ffd = first_fit_decreasing(make_items(sizes), make_bins([5.0] * 4))
+        assert ffd.num_used_bins <= ff.num_used_bins
+        assert ffd.num_used_bins == 2
+
+
+class TestBestFit:
+    def test_picks_tightest(self):
+        items = make_items([3.0])
+        result = best_fit(items, make_bins([10.0, 4.0, 6.0]))
+        assert result.bin_of(0) == 1
+
+    def test_bfd_classic_instance(self):
+        # Items 6,5,4,3,2 into bins of 10: BFD uses 2 bins.
+        result = best_fit_decreasing(
+            make_items([6.0, 5.0, 4.0, 3.0, 2.0]), make_bins([10.0] * 5)
+        )
+        assert result.num_used_bins == 2
+
+
+class TestWorstFit:
+    def test_picks_loosest(self):
+        items = make_items([3.0])
+        result = worst_fit(items, make_bins([4.0, 10.0, 6.0]))
+        assert result.bin_of(0) == 1
+
+    def test_spreads_load(self):
+        result = worst_fit_decreasing(
+            make_items([2.0, 2.0, 2.0]), make_bins([10.0, 10.0, 10.0])
+        )
+        # Each item lands on a different bin.
+        assert result.num_used_bins == 3
+
+
+class TestNextFit:
+    def test_never_returns(self):
+        items = make_items([4.0, 3.0, 1.0])
+        result = next_fit(items, make_bins([5.0, 5.0]))
+        # After moving to bin 1 for the 3.0, the 1.0 stays in bin 1.
+        assert result.bin_of(2) == 1
+
+    def test_can_fail_where_first_fit_succeeds(self):
+        sizes = [4.0, 2.0, 4.0, 2.0]
+        ff = first_fit(make_items(sizes), make_bins([5.0, 5.0, 5.0]))
+        ff.validate(make_items(sizes))
+        with pytest.raises(InfeasiblePlacementError):
+            next_fit(make_items(sizes), make_bins([5.0, 5.0, 5.0]))
+
+
+class TestIterationAccounting:
+    def test_first_fit_counts_scans(self):
+        items = make_items([3.0, 3.0])
+        result = first_fit(items, make_bins([5.0, 5.0]))
+        # Item 0: 1 scan; item 1: bin0 fails, bin1 fits -> 2 scans.
+        assert result.iterations == 3
+
+    def test_best_fit_scans_all_bins(self):
+        items = make_items([3.0, 3.0])
+        result = best_fit(items, make_bins([5.0, 5.0, 5.0]))
+        assert result.iterations == 6

@@ -1,0 +1,92 @@
+"""Unit tests for admission control."""
+
+import pytest
+
+from repro.core.admission import apply_admission_control
+from repro.exceptions import ValidationError
+from repro.nfv.chain import ServiceChain
+from repro.nfv.instance import ServiceInstance
+from repro.nfv.request import Request
+from repro.nfv.vnf import VNF
+
+CHAIN = ServiceChain(["fw"])
+
+
+def _instance(rates, mu=100.0, p=1.0):
+    vnf = VNF("fw", 1.0, 1, mu)
+    inst = ServiceInstance(vnf=vnf, index=0)
+    for i, rate in enumerate(rates):
+        inst.assign(
+            Request(f"r{i}", CHAIN, rate, delivery_probability=p)
+        )
+    return inst
+
+
+class TestStableInstances:
+    def test_nothing_rejected(self):
+        outcome = apply_admission_control([_instance([30.0, 40.0])])
+        assert outcome.num_rejected == 0
+        assert outcome.num_admitted == 2
+        assert outcome.rejection_rate == 0.0
+
+    def test_instances_not_mutated(self):
+        inst = _instance([200.0, 10.0])
+        apply_admission_control([inst])
+        assert len(inst.requests) == 2  # original untouched
+
+
+class TestOverloadedInstances:
+    def test_sheds_heaviest_first(self):
+        outcome = apply_admission_control([_instance([80.0, 30.0])])
+        assert outcome.num_rejected == 1
+        assert outcome.rejected[0].arrival_rate == pytest.approx(80.0)
+        assert outcome.instances[0].is_stable
+
+    def test_sheds_minimum_needed(self):
+        # 60 + 30 + 20 = 110 > 99.9; dropping only the 60 suffices.
+        outcome = apply_admission_control([_instance([60.0, 30.0, 20.0])])
+        assert outcome.num_rejected == 1
+        assert outcome.num_admitted == 2
+
+    def test_rejection_rate(self):
+        outcome = apply_admission_control([_instance([80.0, 80.0])])
+        assert outcome.rejection_rate == pytest.approx(0.5)
+
+    def test_all_rejected_when_every_request_oversized(self):
+        outcome = apply_admission_control([_instance([150.0, 120.0])])
+        assert outcome.num_rejected == 2
+        assert outcome.num_admitted == 0
+
+    def test_post_shedding_utilization_under_target(self):
+        outcome = apply_admission_control(
+            [_instance([70.0, 60.0, 50.0])], target_utilization=0.9
+        )
+        for inst in outcome.instances:
+            assert inst.utilization <= 0.9 + 1e-9
+
+    def test_effective_rates_drive_shedding(self):
+        # 55 raw at P=0.5 is 110 effective: must shed.
+        outcome = apply_admission_control([_instance([55.0], p=0.5)])
+        assert outcome.num_rejected == 1
+
+
+class TestMultipleInstances:
+    def test_independent_shedding(self):
+        stable = _instance([10.0])
+        overloaded = _instance([90.0, 50.0])
+        outcome = apply_admission_control([stable, overloaded])
+        assert outcome.num_rejected == 1
+        assert len(outcome.instances) == 2
+
+    def test_empty_input(self):
+        outcome = apply_admission_control([])
+        assert outcome.num_rejected == 0
+        assert outcome.rejection_rate == 0.0
+
+
+class TestValidation:
+    def test_bad_target(self):
+        with pytest.raises(ValidationError):
+            apply_admission_control([], target_utilization=1.0)
+        with pytest.raises(ValidationError):
+            apply_admission_control([], target_utilization=0.0)

@@ -1,0 +1,111 @@
+"""Unit tests for the paper's objective evaluators (Eqs. 13-16)."""
+
+import math
+
+import pytest
+
+from repro.core import objectives
+from repro.exceptions import SchedulingError
+from repro.nfv.chain import ServiceChain
+from repro.nfv.request import Request
+from repro.nfv.state import DeploymentState
+from repro.nfv.vnf import VNF
+
+
+@pytest.fixture
+def state():
+    vnfs = [VNF("fw", 10.0, 1, 100.0), VNF("nat", 5.0, 1, 200.0)]
+    chain = ServiceChain(["fw", "nat"])
+    requests = [Request("r0", chain, 20.0), Request("r1", chain, 30.0)]
+    return DeploymentState(
+        vnfs=vnfs,
+        requests=requests,
+        node_capacities={"n0": 12.0, "n1": 8.0},
+        placement={"fw": "n0", "nat": "n1"},
+        schedule={
+            ("r0", "fw"): 0,
+            ("r0", "nat"): 0,
+            ("r1", "fw"): 0,
+            ("r1", "nat"): 0,
+        },
+    )
+
+
+class TestPlacementObjectives:
+    def test_average_utilization_eq13(self, state):
+        # n0: 10/12, n1: 5/8.
+        expected = (10.0 / 12.0 + 5.0 / 8.0) / 2.0
+        assert objectives.average_node_utilization(state) == pytest.approx(
+            expected
+        )
+
+    def test_nodes_in_service_eq14(self, state):
+        assert objectives.total_nodes_in_service(state) == 2
+
+
+class TestLatencyObjectives:
+    def test_average_response_latency_eq15(self, state):
+        # fw instance: 50/100 -> W = 1/50; nat: 50/200 -> W = 1/150.
+        expected = (1.0 / 50.0 + 1.0 / 150.0) / 2.0
+        assert objectives.average_response_latency(state) == pytest.approx(
+            expected
+        )
+
+    def test_per_request_response(self, state):
+        per = objectives.per_request_response_time(state)
+        each = 1.0 / 50.0 + 1.0 / 150.0
+        assert per["r0"] == pytest.approx(each)
+        assert per["r1"] == pytest.approx(each)
+
+    def test_total_latency_eq16(self, state):
+        link = 1e-3
+        each = 1.0 / 50.0 + 1.0 / 150.0
+        # Each request crosses n0 -> n1: one inter-node hop.
+        expected = 2 * (each + link)
+        assert objectives.total_latency(state, link) == pytest.approx(expected)
+
+    def test_average_total_latency(self, state):
+        link = 1e-3
+        assert objectives.average_total_latency(state, link) == pytest.approx(
+            objectives.total_latency(state, link) / 2.0
+        )
+
+    def test_colocated_chain_pays_no_link_latency(self):
+        vnfs = [VNF("fw", 1.0, 1, 100.0), VNF("nat", 1.0, 1, 100.0)]
+        chain = ServiceChain(["fw", "nat"])
+        requests = [Request("r0", chain, 10.0)]
+        state = DeploymentState(
+            vnfs=vnfs,
+            requests=requests,
+            node_capacities={"n0": 10.0},
+            placement={"fw": "n0", "nat": "n0"},
+            schedule={("r0", "fw"): 0, ("r0", "nat"): 0},
+        )
+        with_link = objectives.total_latency(state, 1.0)
+        without_link = objectives.total_latency(state, 0.0)
+        assert with_link == pytest.approx(without_link)
+
+    def test_unstable_instance_gives_inf(self):
+        vnfs = [VNF("fw", 1.0, 1, 10.0)]
+        chain = ServiceChain(["fw"])
+        requests = [Request("r0", chain, 20.0)]
+        state = DeploymentState(
+            vnfs=vnfs,
+            requests=requests,
+            node_capacities={"n0": 10.0},
+            placement={"fw": "n0"},
+            schedule={("r0", "fw"): 0},
+        )
+        assert math.isinf(objectives.average_response_latency(state))
+
+    def test_no_serving_instances_raises(self):
+        vnfs = [VNF("fw", 1.0, 1, 10.0)]
+        state = DeploymentState(
+            vnfs=vnfs,
+            requests=[],
+            node_capacities={"n0": 10.0},
+            placement={"fw": "n0"},
+            schedule={},
+        )
+        with pytest.raises(SchedulingError):
+            objectives.average_response_latency(state)

@@ -1,0 +1,118 @@
+"""Unit tests for the online scheduler with periodic rebalancing."""
+
+import numpy as np
+import pytest
+
+from repro.core.online import OnlineScheduler
+from repro.exceptions import SchedulingError, ValidationError
+from repro.nfv.chain import ServiceChain
+from repro.nfv.request import Request
+from repro.nfv.vnf import VNF
+
+CHAIN = ServiceChain(["fw"])
+VNF_UNDER_TEST = VNF("fw", 1.0, 3, 1e6)
+
+
+def _request(rid, rate):
+    return Request(rid, CHAIN, rate)
+
+
+class TestArrivals:
+    def test_joins_least_loaded(self):
+        sched = OnlineScheduler(VNF_UNDER_TEST)
+        assert sched.arrive(_request("a", 10.0)) == 0
+        assert sched.arrive(_request("b", 5.0)) == 1
+        assert sched.arrive(_request("c", 1.0)) == 2
+        # Next joins the lightest (instance 2 at 1.0).
+        assert sched.arrive(_request("d", 1.0)) == 2
+
+    def test_wrong_vnf_rejected(self):
+        sched = OnlineScheduler(VNF_UNDER_TEST)
+        other = Request("x", ServiceChain(["nat"]), 1.0)
+        with pytest.raises(SchedulingError):
+            sched.arrive(other)
+
+    def test_duplicate_rejected(self):
+        sched = OnlineScheduler(VNF_UNDER_TEST)
+        sched.arrive(_request("a", 1.0))
+        with pytest.raises(SchedulingError):
+            sched.arrive(_request("a", 2.0))
+
+    def test_loads_tracked(self):
+        sched = OnlineScheduler(VNF_UNDER_TEST)
+        sched.arrive(_request("a", 10.0))
+        sched.arrive(_request("b", 20.0))
+        assert sorted(sched.instance_rates()) == [0.0, 10.0, 20.0]
+
+
+class TestDepartures:
+    def test_departure_releases_load(self):
+        sched = OnlineScheduler(VNF_UNDER_TEST)
+        sched.arrive(_request("a", 10.0))
+        sched.depart("a")
+        assert sched.active_requests == 0
+        assert sched.instance_rates() == [0.0, 0.0, 0.0]
+
+    def test_unknown_departure(self):
+        with pytest.raises(SchedulingError):
+            OnlineScheduler(VNF_UNDER_TEST).depart("ghost")
+
+
+class TestRebalancing:
+    def test_manual_rebalance_improves_spread(self):
+        rng = np.random.default_rng(0)
+        sched = OnlineScheduler(VNF_UNDER_TEST)
+        # Adversarial arrival order: heavy ones early get spread, then a
+        # departure wave unbalances.
+        for i, rate in enumerate(rng.uniform(1.0, 100.0, size=30)):
+            sched.arrive(_request(f"r{i}", float(rate)))
+        for i in range(0, 30, 3):
+            sched.depart(f"r{i}")
+        before = sched.spread()
+        migrations = sched.rebalance()
+        after = sched.spread()
+        assert after <= before + 1e-9
+        assert migrations >= 0
+
+    def test_periodic_rebalance_triggers(self):
+        sched = OnlineScheduler(VNF_UNDER_TEST, rebalance_every=5)
+        for i in range(10):
+            sched.arrive(_request(f"r{i}", 10.0 * (i + 1)))
+        # Two rebalances happened; spread should be near-optimal.
+        online_only = OnlineScheduler(VNF_UNDER_TEST)
+        for i in range(10):
+            online_only.arrive(_request(f"r{i}", 10.0 * (i + 1)))
+        assert sched.spread() <= online_only.spread() + 1e-9
+
+    def test_rebalance_empty_is_noop(self):
+        sched = OnlineScheduler(VNF_UNDER_TEST)
+        assert sched.rebalance() == 0
+
+    def test_migrations_counted(self):
+        sched = OnlineScheduler(VNF_UNDER_TEST)
+        for i, rate in enumerate([100.0, 1.0, 1.0, 1.0, 99.0, 98.0]):
+            sched.arrive(_request(f"r{i}", rate))
+        sched.rebalance()
+        assert sched.total_migrations == sched.history[-1].migrations
+
+    def test_bad_interval(self):
+        with pytest.raises(ValidationError):
+            OnlineScheduler(VNF_UNDER_TEST, rebalance_every=-1)
+
+
+class TestHistory:
+    def test_snapshots_recorded(self):
+        sched = OnlineScheduler(VNF_UNDER_TEST)
+        sched.arrive(_request("a", 5.0))
+        sched.arrive(_request("b", 7.0))
+        sched.depart("a")
+        assert len(sched.history) == 3
+        assert sched.history[-1].active_requests == 1
+        assert sched.history[0].spread == pytest.approx(5.0)
+
+    def test_assignment_lookup(self):
+        sched = OnlineScheduler(VNF_UNDER_TEST)
+        k = sched.arrive(_request("a", 5.0))
+        assert sched.assignment_of("a") == k
+        with pytest.raises(SchedulingError):
+            sched.assignment_of("ghost")

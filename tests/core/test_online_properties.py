@@ -1,0 +1,80 @@
+"""Property-based tests for the online scheduler (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.online import OnlineScheduler
+from repro.nfv.chain import ServiceChain
+from repro.nfv.request import Request
+from repro.nfv.vnf import VNF
+
+CHAIN = ServiceChain(["fw"])
+
+# A random event script: (is_arrival, rate_or_victim_fraction).
+events_strategy = st.lists(
+    st.tuples(
+        st.booleans(),
+        st.floats(min_value=0.01, max_value=0.99, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=60,
+)
+instances_strategy = st.integers(min_value=1, max_value=6)
+rebalance_strategy = st.integers(min_value=0, max_value=7)
+
+
+def _drive(events, num_instances, rebalance_every):
+    """Replay an event script; returns (scheduler, active request map)."""
+    vnf = VNF("fw", 1.0, num_instances, 1e6)
+    scheduler = OnlineScheduler(vnf, rebalance_every=rebalance_every)
+    active = {}
+    counter = 0
+    for is_arrival, x in events:
+        if is_arrival or not active:
+            rid = f"r{counter}"
+            counter += 1
+            request = Request(rid, CHAIN, 1.0 + 99.0 * x)
+            scheduler.arrive(request)
+            active[rid] = request
+        else:
+            victim = sorted(active)[int(x * len(active))]
+            scheduler.depart(victim)
+            del active[victim]
+    return scheduler, active
+
+
+@given(
+    events=events_strategy,
+    instances=instances_strategy,
+    rebalance=rebalance_strategy,
+)
+@settings(max_examples=40, deadline=None)
+def test_loads_always_equal_assigned_rates(events, instances, rebalance):
+    """Invariant: tracked loads == sum of active requests per instance."""
+    scheduler, active = _drive(events, instances, rebalance)
+    expected = [0.0] * instances
+    for rid, request in active.items():
+        expected[scheduler.assignment_of(rid)] += request.effective_rate
+    for tracked, recomputed in zip(scheduler.instance_rates(), expected):
+        assert tracked == pytest.approx(recomputed, abs=1e-9)
+
+
+@given(
+    events=events_strategy,
+    instances=instances_strategy,
+    rebalance=rebalance_strategy,
+)
+@settings(max_examples=40, deadline=None)
+def test_active_count_consistent(events, instances, rebalance):
+    scheduler, active = _drive(events, instances, rebalance)
+    assert scheduler.active_requests == len(active)
+
+
+@given(events=events_strategy, instances=instances_strategy)
+@settings(max_examples=30, deadline=None)
+def test_rebalance_never_increases_spread(events, instances):
+    scheduler, _ = _drive(events, instances, rebalance_every=0)
+    before = scheduler.spread()
+    scheduler.rebalance()
+    assert scheduler.spread() <= before + 1e-9

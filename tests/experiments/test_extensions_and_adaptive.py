@@ -1,0 +1,76 @@
+"""Tests for the extensions-comparison experiment and adaptive sweeps."""
+
+import pytest
+
+from repro.experiments import extensions_compare
+from repro.experiments.sweeps import scheduling_sweep
+from repro.workload.scenarios import SchedulingScenario
+
+
+class TestExtensionsCompare:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return extensions_compare.run(repetitions=3)
+
+    def test_all_variants_reported(self, result):
+        variants = {row["variant"] for row in result.rows}
+        assert variants == {
+            "BFDSU",
+            "ChainAffinity",
+            "BestOf5",
+            "BFDSU+LocalSearch",
+        }
+
+    def test_local_search_cuts_cross_hops(self, result):
+        by_variant = {row["variant"]: row for row in result.rows}
+        assert (
+            by_variant["BFDSU+LocalSearch"]["cross_hop_fraction"]
+            <= by_variant["BFDSU"]["cross_hop_fraction"] + 1e-9
+        )
+
+    def test_local_search_keeps_consolidation(self, result):
+        by_variant = {row["variant"]: row for row in result.rows}
+        # Relocates never change which nodes are available; nodes in
+        # service may shrink but never grow.
+        assert (
+            by_variant["BFDSU+LocalSearch"]["nodes"]
+            <= by_variant["BFDSU"]["nodes"] + 1e-9
+        )
+
+    def test_metrics_in_range(self, result):
+        for row in result.rows:
+            assert 0.0 < row["utilization"] <= 1.0
+            assert 0.0 <= row["cross_hop_fraction"] <= 1.0
+
+
+class TestAdaptiveSweep:
+    def test_adaptive_stops_early_on_easy_points(self):
+        scenario = SchedulingScenario(
+            num_requests=100, num_instances=5, rho=0.5, seed=3
+        )
+        # Low load, low variance: convergence should fire well before
+        # the 400-repetition cap.
+        rows = scheduling_sweep(
+            [(100, scenario)],
+            repetitions=400,
+            adaptive_precision=0.05,
+        )
+        assert len(rows) == 2
+        # The sweep ran; means are positive and finite.
+        for row in rows:
+            assert 0.0 < row["mean_w"] < 1.0
+
+    def test_adaptive_matches_fixed_within_precision(self):
+        scenario = SchedulingScenario(
+            num_requests=50, num_instances=5, rho=0.8, seed=4
+        )
+        fixed = scheduling_sweep([(50, scenario)], repetitions=200)
+        adaptive = scheduling_sweep(
+            [(50, scenario)], repetitions=200, adaptive_precision=0.02
+        )
+        fixed_w = {r["algorithm"]: r["mean_w"] for r in fixed}
+        adaptive_w = {r["algorithm"]: r["mean_w"] for r in adaptive}
+        for name in fixed_w:
+            assert adaptive_w[name] == pytest.approx(
+                fixed_w[name], rel=0.10
+            )

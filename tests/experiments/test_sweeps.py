@@ -1,0 +1,86 @@
+"""Unit tests for the sweep drivers and enhancement computation."""
+
+import pytest
+
+from repro.experiments.sweeps import (
+    default_placement_algorithms,
+    default_scheduling_algorithms,
+    enhancement_column,
+    placement_sweep,
+    scheduling_sweep,
+)
+from repro.workload.scenarios import PlacementScenario, SchedulingScenario
+
+
+class TestDefaults:
+    def test_placement_contenders(self):
+        names = [a.name for a in default_placement_algorithms(seed=0)]
+        assert names == ["BFDSU", "FFD", "NAH"]
+
+    def test_scheduling_contenders(self):
+        names = [a.name for a in default_scheduling_algorithms()]
+        assert names == ["RCKK", "CGA"]
+
+
+class TestPlacementSweep:
+    def test_rows_shape(self):
+        scenarios = [
+            (10, PlacementScenario(num_vnfs=8, num_nodes=6, seed=1)),
+            (20, PlacementScenario(num_vnfs=8, num_nodes=6, seed=2)),
+        ]
+        rows = placement_sweep(scenarios, repetitions=2, seed=0)
+        assert len(rows) == 2 * 3  # points x algorithms
+        assert {row["x"] for row in rows} == {10, 20}
+        for row in rows:
+            assert 0.0 < row["utilization"] <= 1.0
+            assert row["nodes_in_service"] >= 1.0
+
+
+class TestSchedulingSweep:
+    def test_rows_shape(self):
+        scenarios = [
+            (15, SchedulingScenario(num_requests=15, num_instances=3, seed=1)),
+        ]
+        rows = scheduling_sweep(scenarios, repetitions=5)
+        assert len(rows) == 2
+        for row in rows:
+            assert row["mean_w"] > 0.0
+            assert row["p99_w"] >= row["mean_w"] * 0.5
+
+
+class TestEnhancementColumn:
+    def test_per_point_ratio(self):
+        rows = [
+            {"x": 1, "algorithm": "CGA", "mean_w": 10.0},
+            {"x": 1, "algorithm": "RCKK", "mean_w": 8.0},
+            {"x": 2, "algorithm": "CGA", "mean_w": 4.0},
+            {"x": 2, "algorithm": "RCKK", "mean_w": 4.0},
+        ]
+        enh = enhancement_column(rows, "mean_w")
+        assert enh[1] == pytest.approx(0.2)
+        assert enh[2] == pytest.approx(0.0)
+
+    def test_missing_algorithm_skipped(self):
+        rows = [{"x": 1, "algorithm": "CGA", "mean_w": 10.0}]
+        assert enhancement_column(rows, "mean_w") == {}
+
+    def test_zero_baseline_skipped(self):
+        rows = [
+            {"x": 1, "algorithm": "CGA", "mean_w": 0.0},
+            {"x": 1, "algorithm": "RCKK", "mean_w": 0.0},
+        ]
+        assert enhancement_column(rows, "mean_w") == {}
+
+
+class TestJointE2E:
+    def test_smoke_and_shape(self):
+        from repro.experiments import joint_e2e
+
+        result = joint_e2e.run(repetitions=2)
+        pipelines = {row["pipeline"] for row in result.rows}
+        assert pipelines == {"BFDSU+RCKK", "FFD+CGA", "NAH+CGA"}
+        ours = next(
+            r for r in result.rows if r["pipeline"] == "BFDSU+RCKK"
+        )
+        ffd = next(r for r in result.rows if r["pipeline"] == "FFD+CGA")
+        assert ours["utilization"] > ffd["utilization"]

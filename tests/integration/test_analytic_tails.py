@@ -1,0 +1,64 @@
+"""Integration: analytic chain tails vs packet-level simulation.
+
+The hypoexponential end-to-end latency distribution must predict the
+simulator's measured percentiles — closing the loop between the tail
+statistics of Section V-C and the analytic substrate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nfv.chain import ServiceChain
+from repro.nfv.request import Request
+from repro.nfv.vnf import VNF
+from repro.queueing.hypoexponential import HypoexponentialLatency
+from repro.sim.simulator import ChainSimulator, SimulationConfig
+
+
+@pytest.fixture(scope="module")
+def chain_run():
+    rate = 30.0
+    mus = (90.0, 70.0, 110.0)
+    vnfs = [VNF(f"v{i}", 1.0, 1, mu) for i, mu in enumerate(mus)]
+    chain = ServiceChain([f.name for f in vnfs])
+    request = Request("r0", chain, rate)
+    schedule = {("r0", f.name): 0 for f in vnfs}
+    metrics = ChainSimulator(
+        vnfs,
+        [request],
+        schedule,
+        SimulationConfig(duration=3000.0, warmup=300.0, seed=77),
+    ).run()
+    analytic = HypoexponentialLatency([rate] * 3, list(mus))
+    return analytic, metrics
+
+
+class TestAnalyticTails:
+    def test_mean_agrees(self, chain_run):
+        analytic, metrics = chain_run
+        assert metrics.mean_end_to_end() == pytest.approx(
+            analytic.mean, rel=0.08
+        )
+
+    def test_median_agrees(self, chain_run):
+        analytic, metrics = chain_run
+        measured = float(np.percentile(metrics.all_latencies(), 50))
+        assert measured == pytest.approx(analytic.percentile(0.5), rel=0.10)
+
+    def test_p95_agrees(self, chain_run):
+        analytic, metrics = chain_run
+        measured = float(np.percentile(metrics.all_latencies(), 95))
+        assert measured == pytest.approx(analytic.percentile(0.95), rel=0.12)
+
+    def test_p99_agrees(self, chain_run):
+        analytic, metrics = chain_run
+        measured = float(np.percentile(metrics.all_latencies(), 99))
+        assert measured == pytest.approx(analytic.percentile(0.99), rel=0.20)
+
+    def test_tail_ordering(self, chain_run):
+        analytic, _ = chain_run
+        assert (
+            analytic.percentile(0.5)
+            < analytic.percentile(0.95)
+            < analytic.percentile(0.99)
+        )

@@ -1,0 +1,92 @@
+"""Property-based tests over the whole joint pipeline (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.joint import JointOptimizer
+from repro.placement.bfd import BFDPlacement
+from repro.placement.bfdsu import BFDSUPlacement
+from repro.scheduling.rckk import RCKKScheduler
+from repro.workload.generator import WorkloadGenerator
+
+workload_params = st.tuples(
+    st.integers(min_value=2, max_value=8),    # vnfs
+    st.integers(min_value=2, max_value=6),    # nodes
+    st.integers(min_value=5, max_value=25),   # requests
+    st.integers(min_value=0, max_value=999),  # seed
+)
+
+
+def _build(vnfs, nodes, requests, seed):
+    gen = WorkloadGenerator(np.random.default_rng(seed))
+    return gen.workload(
+        num_vnfs=vnfs,
+        num_nodes=nodes,
+        num_requests=requests,
+        delivery_probability=0.99,
+    )
+
+
+@given(params=workload_params)
+@settings(max_examples=25, deadline=None)
+def test_joint_solution_always_structurally_valid(params):
+    """Every generated workload yields a fully valid joint solution."""
+    vnfs, nodes, requests, seed = params
+    w = _build(vnfs, nodes, requests, seed)
+    solution = JointOptimizer(
+        placement=BFDSUPlacement(rng=np.random.default_rng(seed)),
+        scheduler=RCKKScheduler(),
+    ).optimize(w.vnfs, w.requests, w.capacities)
+    solution.state.validate()  # Eqs. 1-7
+
+
+@given(params=workload_params)
+@settings(max_examples=25, deadline=None)
+def test_every_chain_vnf_scheduled_exactly_once(params):
+    """Eq. (5) holds across the whole pipeline, not just per VNF."""
+    vnfs, nodes, requests, seed = params
+    w = _build(vnfs, nodes, requests, seed)
+    solution = JointOptimizer(placement=BFDPlacement()).optimize(
+        w.vnfs, w.requests, w.capacities
+    )
+    for request in w.requests:
+        scheduled = [
+            vnf_name
+            for (rid, vnf_name) in solution.schedule
+            if rid == request.request_id
+        ]
+        assert sorted(scheduled) == sorted(request.chain.vnf_names)
+
+
+@given(params=workload_params)
+@settings(max_examples=25, deadline=None)
+def test_evaluation_metrics_well_formed(params):
+    """Evaluation never yields out-of-range metrics on feasible inputs."""
+    vnfs, nodes, requests, seed = params
+    w = _build(vnfs, nodes, requests, seed)
+    solution = JointOptimizer(placement=BFDPlacement()).optimize(
+        w.vnfs, w.requests, w.capacities
+    )
+    report = solution.evaluate()
+    assert 0.0 < report.average_node_utilization <= 1.0 + 1e-9
+    assert 1 <= report.nodes_in_service <= nodes
+    assert 0.0 <= report.rejection_rate <= 1.0
+    assert report.resource_occupation <= sum(w.capacities.values()) + 1e-9
+
+
+@given(params=workload_params)
+@settings(max_examples=15, deadline=None)
+def test_total_latency_monotone_in_link_cost(params):
+    """Eq. (16) is non-decreasing in L for a fixed solution."""
+    vnfs, nodes, requests, seed = params
+    w = _build(vnfs, nodes, requests, seed)
+    solution = JointOptimizer(placement=BFDPlacement()).optimize(
+        w.vnfs, w.requests, w.capacities
+    )
+    from repro.core.objectives import total_latency
+
+    cheap = total_latency(solution.state, link_latency=0.0)
+    costly = total_latency(solution.state, link_latency=1e-2)
+    assert costly >= cheap

@@ -1,0 +1,106 @@
+"""Unit tests for service instances."""
+
+import pytest
+
+from repro.exceptions import SchedulingError, ValidationError
+from repro.nfv.chain import ServiceChain
+from repro.nfv.instance import ServiceInstance
+from repro.nfv.request import Request
+from repro.nfv.vnf import VNF
+
+
+@pytest.fixture
+def vnf():
+    return VNF("fw", demand_per_instance=10.0, num_instances=2,
+               service_rate=100.0)
+
+
+@pytest.fixture
+def chain():
+    return ServiceChain(["fw"])
+
+
+def _request(chain, rid, rate, p=1.0):
+    return Request(rid, chain, arrival_rate=rate, delivery_probability=p)
+
+
+class TestConstruction:
+    def test_valid_indices(self, vnf):
+        ServiceInstance(vnf=vnf, index=0)
+        ServiceInstance(vnf=vnf, index=1)
+
+    def test_out_of_range_index(self, vnf):
+        with pytest.raises(ValidationError):
+            ServiceInstance(vnf=vnf, index=2)
+        with pytest.raises(ValidationError):
+            ServiceInstance(vnf=vnf, index=-1)
+
+    def test_key(self, vnf):
+        assert ServiceInstance(vnf, 1).key == ("fw", 1)
+
+
+class TestAssignment:
+    def test_assign(self, vnf, chain):
+        inst = ServiceInstance(vnf, 0)
+        inst.assign(_request(chain, "r0", 5.0))
+        assert len(inst.requests) == 1
+
+    def test_wrong_vnf_rejected(self, vnf):
+        inst = ServiceInstance(vnf, 0)
+        other = _request(ServiceChain(["nat"]), "r0", 5.0)
+        with pytest.raises(SchedulingError):
+            inst.assign(other)
+
+    def test_duplicate_rejected(self, vnf, chain):
+        inst = ServiceInstance(vnf, 0)
+        inst.assign(_request(chain, "r0", 5.0))
+        with pytest.raises(SchedulingError):
+            inst.assign(_request(chain, "r0", 7.0))
+
+
+class TestQueueing:
+    def test_rates(self, vnf, chain):
+        inst = ServiceInstance(vnf, 0)
+        inst.assign(_request(chain, "r0", 9.8, p=0.98))
+        inst.assign(_request(chain, "r1", 20.0))
+        assert inst.external_arrival_rate == pytest.approx(29.8)
+        assert inst.equivalent_arrival_rate == pytest.approx(30.0)
+
+    def test_utilization_eq9(self, vnf, chain):
+        inst = ServiceInstance(vnf, 0)
+        inst.assign(_request(chain, "r0", 50.0))
+        assert inst.utilization == pytest.approx(0.5)
+        assert inst.is_stable
+
+    def test_unstable(self, vnf, chain):
+        inst = ServiceInstance(vnf, 0)
+        inst.assign(_request(chain, "r0", 60.0))
+        inst.assign(_request(chain, "r1", 60.0))
+        assert not inst.is_stable
+
+    def test_mean_number_eq10(self, vnf, chain):
+        inst = ServiceInstance(vnf, 0)
+        inst.assign(_request(chain, "r0", 50.0))
+        # rho = 0.5 -> N = 1.
+        assert inst.mean_number_in_system == pytest.approx(1.0)
+
+    def test_response_time_eq12_uniform_p(self, vnf, chain):
+        # W = 1 / (P mu - sum lambda_raw) when all P_r equal.
+        p = 0.98
+        inst = ServiceInstance(vnf, 0)
+        inst.assign(_request(chain, "r0", 30.0, p=p))
+        inst.assign(_request(chain, "r1", 20.0, p=p))
+        expected = 1.0 / (p * vnf.service_rate - 50.0)
+        assert inst.mean_response_time == pytest.approx(expected)
+
+    def test_response_time_undefined_when_idle(self, vnf):
+        inst = ServiceInstance(vnf, 0)
+        with pytest.raises(SchedulingError):
+            _ = inst.mean_response_time
+
+    def test_queue_object(self, vnf, chain):
+        inst = ServiceInstance(vnf, 0)
+        inst.assign(_request(chain, "r0", 50.0))
+        q = inst.queue()
+        assert q.arrival_rate == pytest.approx(50.0)
+        assert q.service_rate == pytest.approx(100.0)

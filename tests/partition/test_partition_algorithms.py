@@ -1,0 +1,190 @@
+"""Unit tests for greedy / CGA / KK / RCKK / exact partitioning."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.partition import (
+    ckk_two_way,
+    complete_greedy_partition,
+    exact_partition,
+    greedy_partition,
+    karmarkar_karp_multiway,
+    karmarkar_karp_two_way,
+    rckk_partition,
+)
+from repro.partition.rckk import forward_ckk_partition
+
+ALGOS_ANY_WAYS = [
+    greedy_partition,
+    rckk_partition,
+    forward_ckk_partition,
+    lambda v, m: complete_greedy_partition(v, m, max_nodes=100),
+]
+
+
+class TestGreedy:
+    def test_lpt_classic(self):
+        # LPT on [7,6,5,4,3] into 2 ways -> {7,4,3} vs {6,5}: spread 3.
+        r = greedy_partition([7.0, 6.0, 5.0, 4.0, 3.0], 2)
+        assert r.makespan == pytest.approx(14.0)
+        assert r.spread <= 3.0 + 1e-12
+
+    def test_single_way(self):
+        r = greedy_partition([1.0, 2.0], 1)
+        assert r.sums == [pytest.approx(3.0)]
+
+    def test_more_ways_than_values(self):
+        r = greedy_partition([5.0, 3.0], 4)
+        r.validate()
+        assert sorted(r.sums) == [0.0, 0.0, pytest.approx(3.0), pytest.approx(5.0)]
+
+    def test_empty(self):
+        r = greedy_partition([], 3)
+        assert r.sums == [0.0, 0.0, 0.0]
+
+
+class TestCGA:
+    def test_unlimited_is_optimal(self):
+        # [4,5,6,7,8] into 2 ways: optimal makespan 15.
+        r = complete_greedy_partition([4.0, 5.0, 6.0, 7.0, 8.0], 2, max_nodes=0)
+        assert r.makespan == pytest.approx(15.0)
+
+    def test_budgeted_no_worse_than_unbudgeted_greedy_leaf(self):
+        values = [9.0, 7.0, 5.0, 3.0, 1.0, 1.0]
+        greedy = greedy_partition(values, 3)
+        cga = complete_greedy_partition(values, 3, max_nodes=1000)
+        assert cga.makespan <= greedy.makespan + 1e-9
+
+    def test_perfect_partition_short_circuits(self):
+        r = complete_greedy_partition([2.0, 2.0, 2.0, 2.0], 2, max_nodes=0)
+        assert r.spread == pytest.approx(0.0)
+
+    def test_presort_false_keeps_arrival_order_first_leaf(self):
+        # With a first-leaf-only budget and no presort, the result is the
+        # online least-loaded assignment.
+        values = [1.0, 10.0, 1.0, 10.0]
+        r = complete_greedy_partition(values, 2, max_nodes=6, presort=False)
+        r.validate()
+        # Online: 1->w0, 10->w1, 1->w0, 10->w0? no: sums (2,10): 10->w0 =12.
+        assert r.makespan == pytest.approx(12.0)
+
+    def test_optimal_guard(self):
+        from repro.partition.cga import optimal_partition_cga
+
+        with pytest.raises(ValidationError):
+            optimal_partition_cga([1.0] * 29, 2)
+
+
+class TestKKTwoWay:
+    def test_classic_example(self):
+        # KK on [8,7,6,5,4]: difference 2 is known.
+        r = karmarkar_karp_two_way([8.0, 7.0, 6.0, 5.0, 4.0])
+        assert r.spread == pytest.approx(2.0)
+
+    def test_beats_or_ties_greedy_usually(self):
+        values = [10.0, 8.0, 7.0, 6.0, 5.0, 4.0]
+        kk = karmarkar_karp_two_way(values)
+        greedy = greedy_partition(values, 2)
+        assert kk.spread <= greedy.spread + 1e-9
+
+    def test_subset_reconstruction_consistent(self):
+        values = [8.0, 7.0, 6.0, 5.0, 4.0]
+        r = karmarkar_karp_two_way(values)
+        r.validate()
+        sums = sorted(r.sums)
+        assert sums[1] - sums[0] == pytest.approx(r.spread)
+
+    def test_empty(self):
+        r = karmarkar_karp_two_way([])
+        assert r.subsets == [[], []]
+
+
+class TestCKK:
+    def test_finds_optimal(self):
+        # [5,5,4,3,3] -> perfect split 10/10.
+        r = ckk_two_way([5.0, 5.0, 4.0, 3.0, 3.0])
+        assert r.spread == pytest.approx(0.0)
+
+    def test_never_worse_than_kk(self):
+        values = [13.0, 11.0, 7.0, 5.0, 3.0, 2.0]
+        kk = karmarkar_karp_two_way(values)
+        ckk = ckk_two_way(values)
+        assert ckk.spread <= kk.spread + 1e-9
+
+    def test_single_value(self):
+        r = ckk_two_way([5.0])
+        r.validate()
+        assert r.spread == pytest.approx(5.0)
+
+
+class TestMultiwayKK:
+    def test_three_way(self):
+        r = karmarkar_karp_multiway([9.0, 8.0, 7.0, 6.0, 5.0, 4.0], 3)
+        r.validate()
+        # total 39, perfect 13 per way; KK should get close.
+        assert r.makespan <= 15.0
+
+    def test_two_way_matches_pairwise_kk_quality(self):
+        values = [8.0, 7.0, 6.0, 5.0, 4.0]
+        multi = karmarkar_karp_multiway(values, 2)
+        pair = karmarkar_karp_two_way(values)
+        assert multi.spread == pytest.approx(pair.spread)
+
+    def test_reverse_no_worse_than_forward_on_average(self):
+        import numpy as np
+
+        rng = np.random.default_rng(5)
+        rev_spreads, fwd_spreads = [], []
+        for _ in range(50):
+            values = list(rng.uniform(1.0, 100.0, size=12))
+            rev_spreads.append(rckk_partition(values, 4).spread)
+            fwd_spreads.append(forward_ckk_partition(values, 4).spread)
+        assert np.mean(rev_spreads) <= np.mean(fwd_spreads)
+
+    def test_one_way(self):
+        r = karmarkar_karp_multiway([3.0, 1.0], 1)
+        assert r.sums == [pytest.approx(4.0)]
+
+    def test_empty(self):
+        r = karmarkar_karp_multiway([], 3)
+        assert r.sums == [0.0, 0.0, 0.0]
+
+
+class TestRCKK:
+    def test_algorithm2_walkthrough(self):
+        """Hand-checked run of the paper's Algorithm 2.
+
+        Values [8, 7, 6, 5] into 2 ways:
+        - partitions: (8,0),(7,0),(6,0),(5,0)
+        - combine (8,0)+(7,0) reversed -> (8,7) -> normalized (1,0)
+        - combine (6,0)+(5,0) reversed -> (6,5) -> normalized (1,0)
+        - combine (1,0)+(1,0) reversed -> (1,1) -> normalized (0,0)
+        Perfect balance: sums 13/13.
+        """
+        r = rckk_partition([8.0, 7.0, 6.0, 5.0], 2)
+        assert sorted(r.sums) == [pytest.approx(13.0), pytest.approx(13.0)]
+
+    def test_iterations_are_n_minus_one(self):
+        r = rckk_partition([3.0, 1.0, 4.0, 1.0, 5.0], 3)
+        assert r.iterations == 4
+
+    def test_all_indices_assigned(self):
+        r = rckk_partition([float(i + 1) for i in range(17)], 5)
+        r.validate()
+
+
+class TestExact:
+    def test_optimal_small(self):
+        r = exact_partition([10.0, 9.0, 8.0, 7.0, 6.0, 5.0], 3)
+        # total 45, perfect 15 per way is achievable: 10+5, 9+6, 8+7.
+        assert r.makespan == pytest.approx(15.0)
+
+    def test_heuristics_never_beat_exact(self):
+        values = [12.0, 10.0, 9.0, 7.0, 4.0, 3.0, 2.0]
+        opt = exact_partition(values, 3).makespan
+        for algo in ALGOS_ANY_WAYS:
+            assert algo(values, 3).makespan >= opt - 1e-9
+
+    def test_too_large_rejected(self):
+        with pytest.raises(ValidationError):
+            exact_partition([1.0] * 40, 2)

@@ -1,0 +1,105 @@
+"""Property-based tests for the partitioning substrate (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partition import (
+    ckk_two_way,
+    complete_greedy_partition,
+    greedy_partition,
+    karmarkar_karp_two_way,
+    rckk_partition,
+)
+
+values_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    min_size=1,
+    max_size=30,
+)
+ways_strategy = st.integers(min_value=1, max_value=6)
+
+
+@given(values=values_strategy, ways=ways_strategy)
+@settings(max_examples=60, deadline=None)
+def test_greedy_partitions_every_index(values, ways):
+    result = greedy_partition(values, ways)
+    result.validate()
+    assert sum(result.sums) == pytest.approx(sum(values), abs=1e-6)
+
+
+@given(values=values_strategy, ways=ways_strategy)
+@settings(max_examples=60, deadline=None)
+def test_rckk_partitions_every_index(values, ways):
+    result = rckk_partition(values, ways)
+    result.validate()
+    assert sum(result.sums) == pytest.approx(sum(values), abs=1e-6)
+
+
+@given(values=values_strategy, ways=ways_strategy)
+@settings(max_examples=40, deadline=None)
+def test_cga_partitions_every_index(values, ways):
+    result = complete_greedy_partition(values, ways, max_nodes=500)
+    result.validate()
+    assert sum(result.sums) == pytest.approx(sum(values), abs=1e-6)
+
+
+@given(values=values_strategy, ways=ways_strategy)
+@settings(max_examples=60, deadline=None)
+def test_makespan_bounds(values, ways):
+    """Any partition's makespan is between total/m and total."""
+    total = sum(values)
+    for algo in (greedy_partition, rckk_partition):
+        makespan = algo(values, ways).makespan
+        assert makespan >= total / ways - 1e-6
+        assert makespan <= total + 1e-6
+
+
+@given(values=values_strategy)
+@settings(max_examples=60, deadline=None)
+def test_greedy_lpt_guarantee(values):
+    """LPT's makespan is within 4/3 - 1/(3m) of optimal >= total/m & max."""
+    ways = 3
+    result = greedy_partition(values, ways)
+    lower = max(sum(values) / ways, max(values) if values else 0.0)
+    assert result.makespan <= (4.0 / 3.0) * lower + 1e-6
+
+
+@given(values=st.lists(
+    st.floats(min_value=0.1, max_value=50.0, allow_nan=False),
+    min_size=2, max_size=14,
+))
+@settings(max_examples=30, deadline=None)
+def test_ckk_no_worse_than_kk(values):
+    assert (
+        ckk_two_way(values).spread
+        <= karmarkar_karp_two_way(values).spread + 1e-9
+    )
+
+
+@given(values=st.lists(
+    st.floats(min_value=0.1, max_value=50.0, allow_nan=False),
+    min_size=2, max_size=12,
+))
+@settings(max_examples=30, deadline=None)
+def test_ckk_matches_exhaustive_optimum(values):
+    """Unbounded CKK finds the optimal two-way spread."""
+    from itertools import combinations
+
+    total = sum(values)
+    best = total
+    indices = range(len(values))
+    for r in range(len(values) + 1):
+        for combo in combinations(indices, r):
+            s = sum(values[i] for i in combo)
+            best = min(best, abs(total - 2 * s))
+    assert ckk_two_way(values).spread == pytest.approx(best, abs=1e-6)
+
+
+@given(values=values_strategy, ways=ways_strategy)
+@settings(max_examples=60, deadline=None)
+def test_rckk_spread_bounded_by_max_value(values, ways):
+    """RCKK's residual spread never exceeds the largest input value."""
+    result = rckk_partition(values, ways)
+    bound = max(values) if values else 0.0
+    assert result.spread <= bound + 1e-6

@@ -1,0 +1,106 @@
+"""Unit tests for the best-of-K placement wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InfeasiblePlacementError, ValidationError
+from repro.nfv.vnf import VNF
+from repro.placement.base import PlacementProblem
+from repro.placement.best_of import BestOfKPlacement
+from repro.placement.bfdsu import BFDSUPlacement
+from repro.placement.random_fit import RandomFitPlacement
+
+
+def _problem(demands, capacities):
+    vnfs = [VNF(f"f{i}", d, 1, 100.0) for i, d in enumerate(demands)]
+    caps = {f"n{i}": c for i, c in enumerate(capacities)}
+    return PlacementProblem(vnfs=vnfs, capacities=caps)
+
+
+def _bfdsu_factory(run, rng):
+    return BFDSUPlacement(rng=rng)
+
+
+class TestBestOfK:
+    def test_valid_result(self):
+        problem = _problem([4.0, 3.0, 2.0, 5.0], [10.0, 10.0, 10.0])
+        result = BestOfKPlacement(
+            _bfdsu_factory, k=4, rng=np.random.default_rng(0)
+        ).place(problem)
+        result.validate()
+        assert result.algorithm.startswith("BestOfK(BFDSU")
+
+    def test_never_worse_than_single_run(self):
+        rng_master = np.random.default_rng(3)
+        for rep in range(10):
+            demands = list(np.random.default_rng(rep).uniform(2.0, 6.0, 8))
+            problem_single = _problem(demands, [10.0] * 8)
+            problem_multi = _problem(demands, [10.0] * 8)
+            single = BFDSUPlacement(
+                rng=np.random.default_rng(rep + 100)
+            ).place(problem_single)
+            multi = BestOfKPlacement(
+                _bfdsu_factory, k=6, rng=np.random.default_rng(rep + 100)
+            ).place(problem_multi)
+            # Across many reps, best-of-6 on average ties or beats.
+            assert multi.num_used_nodes <= single.num_used_nodes + 1
+
+    def test_improves_random_fit(self):
+        demands = list(np.random.default_rng(5).uniform(2.0, 6.0, 10))
+        single_nodes, multi_nodes = [], []
+        for rep in range(10):
+            p1 = _problem(demands, [12.0] * 10)
+            p2 = _problem(demands, [12.0] * 10)
+            single_nodes.append(
+                RandomFitPlacement(np.random.default_rng(rep))
+                .place(p1)
+                .num_used_nodes
+            )
+            multi_nodes.append(
+                BestOfKPlacement(
+                    lambda run, rng: RandomFitPlacement(rng),
+                    k=8,
+                    rng=np.random.default_rng(rep),
+                )
+                .place(p2)
+                .num_used_nodes
+            )
+        assert np.mean(multi_nodes) < np.mean(single_nodes)
+
+    def test_iterations_accumulate(self):
+        problem = _problem([4.0, 3.0], [10.0, 10.0])
+        result = BestOfKPlacement(
+            _bfdsu_factory, k=3, rng=np.random.default_rng(1)
+        ).place(problem)
+        assert result.iterations >= 3 * 2  # >= k runs x |F| draws
+
+    def test_deterministic_given_seed(self):
+        p1 = _problem([4.0, 3.0, 2.0], [10.0, 10.0])
+        p2 = _problem([4.0, 3.0, 2.0], [10.0, 10.0])
+        a = BestOfKPlacement(
+            _bfdsu_factory, k=3, rng=np.random.default_rng(9)
+        ).place(p1)
+        b = BestOfKPlacement(
+            _bfdsu_factory, k=3, rng=np.random.default_rng(9)
+        ).place(p2)
+        assert a.placement == b.placement
+
+    def test_all_failures_raise(self):
+        problem = _problem([6.0, 6.0], [7.0])
+        problem_checkless = problem  # check happens inside the child
+
+        class AlwaysFails:
+            name = "fail"
+
+            def place(self, _):
+                raise InfeasiblePlacementError("nope")
+
+        wrapper = BestOfKPlacement(
+            lambda run, rng: AlwaysFails(), k=3, rng=np.random.default_rng(0)
+        )
+        with pytest.raises(InfeasiblePlacementError):
+            wrapper.place(problem_checkless)
+
+    def test_bad_k(self):
+        with pytest.raises(ValidationError):
+            BestOfKPlacement(_bfdsu_factory, k=0)

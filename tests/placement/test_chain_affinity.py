@@ -1,0 +1,102 @@
+"""Unit tests for the chain-affinity BFDSU extension."""
+
+import numpy as np
+import pytest
+
+from repro.nfv.chain import ServiceChain
+from repro.nfv.vnf import VNF
+from repro.placement.base import PlacementProblem
+from repro.placement.bfdsu import BFDSUPlacement
+from repro.placement.chain_affinity import ChainAffinityBFDSU, _chain_neighbours
+
+
+def _problem(demands, capacities, chains=()):
+    vnfs = [VNF(f"f{i}", d, 1, 100.0) for i, d in enumerate(demands)]
+    caps = {f"n{i}": c for i, c in enumerate(capacities)}
+    return PlacementProblem(vnfs=vnfs, capacities=caps, chains=chains)
+
+
+class TestNeighbourMap:
+    def test_bidirectional(self):
+        p = _problem(
+            [1.0, 1.0, 1.0],
+            [10.0],
+            chains=[ServiceChain(["f0", "f1", "f2"])],
+        )
+        n = _chain_neighbours(p)
+        assert n["f0"] == {"f1"}
+        assert n["f1"] == {"f0", "f2"}
+        assert n["f2"] == {"f1"}
+
+    def test_no_chains(self):
+        assert _chain_neighbours(_problem([1.0], [10.0])) == {}
+
+
+class TestPlacement:
+    def test_valid_and_complete(self):
+        p = _problem(
+            [4.0, 3.0, 2.0],
+            [10.0, 10.0],
+            chains=[ServiceChain(["f0", "f1", "f2"])],
+        )
+        result = ChainAffinityBFDSU(rng=np.random.default_rng(0)).place(p)
+        result.validate()
+
+    def test_boost_one_is_plain_bfdsu(self):
+        demands = [4.0, 3.0, 2.0, 5.0]
+        caps = [10.0, 10.0, 10.0]
+        p1 = _problem(demands, caps)
+        p2 = _problem(demands, caps)
+        affinity = ChainAffinityBFDSU(
+            rng=np.random.default_rng(11), affinity_boost=1.0
+        ).place(p1)
+        plain = BFDSUPlacement(rng=np.random.default_rng(11)).place(p2)
+        assert affinity.placement == plain.placement
+
+    def test_high_boost_colocates_chain(self):
+        # Two equal nodes, chain of three small VNFs: with a huge boost
+        # they land together essentially always.
+        chains = [ServiceChain(["f0", "f1", "f2"])]
+        colocated = 0
+        for seed in range(20):
+            p = _problem([2.0, 2.0, 2.0], [10.0, 10.0], chains=chains)
+            result = ChainAffinityBFDSU(
+                rng=np.random.default_rng(seed), affinity_boost=50.0
+            ).place(p)
+            nodes = {result.placement[f] for f in ("f0", "f1", "f2")}
+            if len(nodes) == 1:
+                colocated += 1
+        assert colocated >= 18
+
+    def test_reduces_hops_vs_plain_on_average(self):
+        from repro.nfv.state import DeploymentState
+
+        chains = [
+            ServiceChain(["f0", "f1"]),
+            ServiceChain(["f2", "f3"]),
+        ]
+        hops = {"affinity": 0, "plain": 0}
+        for seed in range(30):
+            demands = [3.0, 3.0, 3.0, 3.0]
+            caps = [7.0, 7.0, 7.0, 7.0]
+            for key, algo in (
+                (
+                    "affinity",
+                    ChainAffinityBFDSU(
+                        rng=np.random.default_rng(seed), affinity_boost=8.0
+                    ),
+                ),
+                ("plain", BFDSUPlacement(rng=np.random.default_rng(seed))),
+            ):
+                p = _problem(demands, caps, chains=chains)
+                result = algo.place(p)
+                # Count chain hops that cross nodes.
+                for chain in chains:
+                    for a, b in chain.hops():
+                        if result.placement[a] != result.placement[b]:
+                            hops[key] += 1
+        assert hops["affinity"] <= hops["plain"]
+
+    def test_bad_boost(self):
+        with pytest.raises(ValueError):
+            ChainAffinityBFDSU(affinity_boost=0.5)

@@ -1,0 +1,143 @@
+"""Unit tests for multi-resource placement."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InfeasiblePlacementError, ValidationError
+from repro.placement.multi_resource import (
+    MultiResourceProblem,
+    MultiResourceResult,
+    ResourceVector,
+    VectorBFDSU,
+)
+
+
+def _vec(cpu, mem):
+    return ResourceVector(cpu=cpu, memory=mem)
+
+
+class TestResourceVector:
+    def test_get(self):
+        v = _vec(4.0, 8.0)
+        assert v.get("cpu") == 4.0
+        assert v.get("memory") == 8.0
+        with pytest.raises(ValidationError):
+            v.get("disk")
+
+    def test_fits_within(self):
+        assert _vec(2.0, 3.0).fits_within(_vec(4.0, 3.0))
+        assert not _vec(5.0, 1.0).fits_within(_vec(4.0, 3.0))
+
+    def test_arithmetic(self):
+        s = _vec(4.0, 8.0).minus(_vec(1.0, 2.0))
+        assert s.get("cpu") == pytest.approx(3.0)
+        t = s.plus(_vec(1.0, 2.0))
+        assert t.get("memory") == pytest.approx(8.0)
+
+    def test_dominant_share(self):
+        # cpu 2/4 = 0.5, mem 6/8 = 0.75 -> dominant 0.75.
+        assert _vec(2.0, 6.0).dominant_share(_vec(4.0, 8.0)) == pytest.approx(0.75)
+
+    def test_incompatible_names(self):
+        with pytest.raises(ValidationError):
+            _vec(1.0, 1.0).fits_within(ResourceVector(cpu=1.0, disk=1.0))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            ResourceVector(cpu=-1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            ResourceVector()
+
+
+class TestProblem:
+    def test_valid(self):
+        MultiResourceProblem(
+            demands={"fw": _vec(2.0, 4.0)},
+            capacities={"n0": _vec(8.0, 16.0)},
+        )
+
+    def test_mixed_names_rejected(self):
+        with pytest.raises(ValidationError):
+            MultiResourceProblem(
+                demands={"fw": ResourceVector(cpu=1.0)},
+                capacities={"n0": _vec(8.0, 16.0)},
+            )
+
+    def test_feasibility_per_resource(self):
+        # Fits on CPU everywhere, but memory demand exceeds every node.
+        p = MultiResourceProblem(
+            demands={"fw": _vec(1.0, 20.0)},
+            capacities={"n0": _vec(8.0, 16.0), "n1": _vec(8.0, 16.0)},
+        )
+        with pytest.raises(InfeasiblePlacementError):
+            p.check_necessary_feasibility()
+
+    def test_volume_feasibility(self):
+        p = MultiResourceProblem(
+            demands={"a": _vec(6.0, 1.0), "b": _vec(6.0, 1.0)},
+            capacities={"n0": _vec(8.0, 16.0)},
+        )
+        with pytest.raises(InfeasiblePlacementError):
+            p.check_necessary_feasibility()
+
+
+class TestVectorBFDSU:
+    def _problem(self):
+        return MultiResourceProblem(
+            demands={
+                "fw": _vec(4.0, 2.0),
+                "ids": _vec(3.0, 6.0),
+                "nat": _vec(1.0, 1.0),
+                "lb": _vec(2.0, 2.0),
+            },
+            capacities={
+                "n0": _vec(8.0, 8.0),
+                "n1": _vec(6.0, 10.0),
+                "n2": _vec(4.0, 4.0),
+            },
+        )
+
+    def test_places_all_within_capacity(self):
+        result = VectorBFDSU(rng=np.random.default_rng(0)).place(self._problem())
+        result.validate()
+
+    def test_consolidates(self):
+        # Everything fits in n0 + n1 comfortably; should not use 3 nodes
+        # in most runs.
+        counts = []
+        for seed in range(10):
+            result = VectorBFDSU(rng=np.random.default_rng(seed)).place(
+                self._problem()
+            )
+            counts.append(result.num_used_nodes)
+        assert min(counts) <= 2
+
+    def test_secondary_resource_respected(self):
+        # CPU alone would fit both on n0; memory forces a split.
+        p = MultiResourceProblem(
+            demands={"a": _vec(2.0, 7.0), "b": _vec(2.0, 7.0)},
+            capacities={"n0": _vec(8.0, 8.0), "n1": _vec(8.0, 8.0)},
+        )
+        result = VectorBFDSU(rng=np.random.default_rng(1)).place(p)
+        result.validate()
+        assert result.num_used_nodes == 2
+
+    def test_dominant_utilization_metric(self):
+        result = VectorBFDSU(rng=np.random.default_rng(2)).place(self._problem())
+        util = result.average_dominant_utilization()
+        assert 0.0 < util <= 1.0 + 1e-9
+
+    def test_deterministic_given_seed(self):
+        a = VectorBFDSU(rng=np.random.default_rng(5)).place(self._problem())
+        b = VectorBFDSU(rng=np.random.default_rng(5)).place(self._problem())
+        assert a.placement == b.placement
+
+    def test_validate_catches_overflow(self):
+        p = self._problem()
+        result = MultiResourceResult(
+            placement={name: "n2" for name in p.demands}, problem=p
+        )
+        with pytest.raises(ValidationError):
+            result.validate()

@@ -1,0 +1,66 @@
+"""Property-based tests for resource vectors and vector placement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.placement.multi_resource import (
+    MultiResourceProblem,
+    ResourceVector,
+    VectorBFDSU,
+)
+
+quantity = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+
+
+@given(a_cpu=quantity, a_mem=quantity, b_cpu=quantity, b_mem=quantity)
+@settings(max_examples=50, deadline=None)
+def test_vector_plus_minus_roundtrip(a_cpu, a_mem, b_cpu, b_mem):
+    a = ResourceVector(cpu=a_cpu, memory=a_mem)
+    b = ResourceVector(cpu=b_cpu, memory=b_mem)
+    s = a.plus(b)
+    assert s.get("cpu") == pytest.approx(a_cpu + b_cpu)
+    back = s.minus(b)
+    assert back.get("cpu") == pytest.approx(a_cpu, abs=1e-9)
+    assert back.get("memory") == pytest.approx(a_mem, abs=1e-9)
+
+
+@given(cpu=quantity, mem=quantity)
+@settings(max_examples=50, deadline=None)
+def test_dominant_share_bounds(cpu, mem):
+    demand = ResourceVector(cpu=cpu, memory=mem)
+    capacity = ResourceVector(cpu=200.0, memory=200.0)
+    share = demand.dominant_share(capacity)
+    assert 0.0 <= share <= 0.5 + 1e-12
+    assert share == pytest.approx(max(cpu, mem) / 200.0)
+
+
+demands_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0.5, max_value=4.0, allow_nan=False),
+        st.floats(min_value=0.5, max_value=4.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+
+@given(demands=demands_strategy, seed=st.integers(min_value=0, max_value=50))
+@settings(max_examples=30, deadline=None)
+def test_vector_bfdsu_always_feasible_on_generous_pools(demands, seed):
+    problem = MultiResourceProblem(
+        demands={
+            f"f{i}": ResourceVector(cpu=c, memory=m)
+            for i, (c, m) in enumerate(demands)
+        },
+        capacities={
+            f"n{i}": ResourceVector(cpu=5.0, memory=5.0)
+            for i in range(len(demands))
+        },
+    )
+    result = VectorBFDSU(rng=np.random.default_rng(seed)).place(problem)
+    result.validate()
+    # Every used node respects every resource dimension.
+    for node, load in result.node_loads().items():
+        assert load.fits_within(problem.capacities[node])

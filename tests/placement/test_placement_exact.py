@@ -1,0 +1,76 @@
+"""Unit tests for the exact branch-and-bound placement + Theorem 2 check."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.nfv.vnf import VNF
+from repro.placement.base import PlacementProblem
+from repro.placement.bfdsu import BFDSUPlacement
+from repro.placement.exact import ExactPlacement
+
+
+def _problem(demands, capacities):
+    vnfs = [VNF(f"f{i}", d, 1, 100.0) for i, d in enumerate(demands)]
+    caps = {f"n{i}": c for i, c in enumerate(capacities)}
+    return PlacementProblem(vnfs=vnfs, capacities=caps)
+
+
+class TestExact:
+    def test_trivial(self):
+        result = ExactPlacement().place(_problem([3.0], [5.0]))
+        assert result.num_used_nodes == 1
+
+    def test_finds_perfect_pack(self):
+        # 6 items of 3 into capacity-9 nodes: optimal is 2 nodes.
+        result = ExactPlacement().place(_problem([3.0] * 6, [9.0] * 6))
+        assert result.num_used_nodes == 2
+
+    def test_heterogeneous_optimal(self):
+        # One big node can take everything.
+        result = ExactPlacement().place(
+            _problem([4.0, 3.0, 2.0], [5.0, 5.0, 9.0])
+        )
+        assert result.num_used_nodes == 1
+
+    def test_forced_split(self):
+        result = ExactPlacement().place(_problem([5.0, 5.0], [6.0, 6.0]))
+        assert result.num_used_nodes == 2
+
+    def test_size_guard(self):
+        with pytest.raises(ValidationError):
+            ExactPlacement().place(_problem([1.0] * 17, [100.0] * 20))
+
+    def test_matches_brute_force_small(self):
+        # Cross-check against per-instance enumeration via itertools.
+        from itertools import product
+
+        demands = [4.0, 3.0, 3.0, 2.0]
+        caps = [6.0, 6.0, 6.0]
+        best = None
+        for assign in product(range(3), repeat=4):
+            loads = [0.0, 0.0, 0.0]
+            for d, a in zip(demands, assign):
+                loads[a] += d
+            if all(l <= c for l, c in zip(loads, caps)):
+                used = sum(1 for l in loads if l > 0)
+                best = used if best is None else min(best, used)
+        result = ExactPlacement().place(_problem(demands, caps))
+        assert result.num_used_nodes == best
+
+
+class TestTheorem2Bound:
+    """Empirical check of BFDSU's asymptotic worst-case bound of 2."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_bfdsu_within_twice_optimal(self, seed):
+        rng = np.random.default_rng(seed)
+        demands = list(rng.uniform(1.0, 6.0, size=9))
+        caps = [10.0] * 9
+        exact = ExactPlacement().place(_problem(demands, caps))
+        bfdsu = BFDSUPlacement(rng=np.random.default_rng(seed + 100)).place(
+            _problem(demands, caps)
+        )
+        # Theorem 2: SUM(V) <= 2 OPT(V) (asymptotically; +1 slack for
+        # small instances).
+        assert bfdsu.num_used_nodes <= 2 * exact.num_used_nodes + 1

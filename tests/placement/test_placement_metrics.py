@@ -1,0 +1,82 @@
+"""Unit tests for placement metrics and report aggregation."""
+
+import pytest
+
+from repro.nfv.vnf import VNF
+from repro.placement.base import PlacementProblem, PlacementResult
+from repro.placement.metrics import (
+    PlacementReport,
+    enhancement_ratio,
+    mean_reports,
+    placement_report,
+)
+
+
+def _result():
+    vnfs = [VNF("a", 4.0, 1, 1.0), VNF("b", 6.0, 1, 1.0)]
+    problem = PlacementProblem(
+        vnfs=vnfs, capacities={"n0": 10.0, "n1": 10.0}
+    )
+    return PlacementResult(
+        placement={"a": "n0", "b": "n0"},
+        problem=problem,
+        iterations=3,
+        algorithm="X",
+    )
+
+
+class TestReport:
+    def test_fields(self):
+        report = placement_report(_result())
+        assert report.algorithm == "X"
+        assert report.average_utilization == pytest.approx(1.0)
+        assert report.nodes_in_service == 1
+        assert report.resource_occupation == pytest.approx(10.0)
+        assert report.iterations == 3
+
+    def test_as_dict(self):
+        d = placement_report(_result()).as_dict()
+        assert set(d) == {
+            "algorithm",
+            "average_utilization",
+            "nodes_in_service",
+            "resource_occupation",
+            "iterations",
+        }
+
+
+class TestMeanReports:
+    def test_averages(self):
+        r1 = PlacementReport("X", 0.8, 4, 100.0, 10)
+        r2 = PlacementReport("X", 0.6, 6, 200.0, 20)
+        mean = mean_reports([r1, r2])
+        assert mean.average_utilization == pytest.approx(0.7)
+        assert mean.nodes_in_service == pytest.approx(5.0)
+        assert mean.resource_occupation == pytest.approx(150.0)
+        assert mean.iterations == pytest.approx(15.0)
+
+    def test_fractional_nodes_preserved(self):
+        r1 = PlacementReport("X", 0.8, 8, 1.0, 1)
+        r2 = PlacementReport("X", 0.8, 9, 1.0, 1)
+        assert mean_reports([r1, r2]).nodes_in_service == pytest.approx(8.5)
+
+    def test_mixed_algorithms_rejected(self):
+        r1 = PlacementReport("X", 0.8, 4, 1.0, 1)
+        r2 = PlacementReport("Y", 0.8, 4, 1.0, 1)
+        with pytest.raises(ValueError):
+            mean_reports([r1, r2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_reports([])
+
+
+class TestEnhancementRatio:
+    def test_improvement(self):
+        assert enhancement_ratio(10.0, 8.0) == pytest.approx(0.2)
+
+    def test_regression_negative(self):
+        assert enhancement_ratio(8.0, 10.0) == pytest.approx(-0.25)
+
+    def test_zero_baseline(self):
+        assert enhancement_ratio(0.0, 5.0) == 0.0

@@ -1,0 +1,83 @@
+"""Property-based tests for the placement algorithms (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nfv.vnf import VNF
+from repro.placement.base import PlacementProblem
+from repro.placement.bfd import BFDPlacement
+from repro.placement.bfdsu import BFDSUPlacement
+from repro.placement.ffd import FFDPlacement
+from repro.placement.nah import NAHPlacement
+
+demands_strategy = st.lists(
+    st.floats(min_value=0.5, max_value=5.0, allow_nan=False),
+    min_size=1,
+    max_size=15,
+)
+
+
+def _problem(demands):
+    vnfs = [VNF(f"f{i}", d, 1, 100.0) for i, d in enumerate(demands)]
+    # Generous pool: one capacity-6 node per VNF guarantees feasibility.
+    caps = {f"n{i}": 6.0 for i in range(len(demands))}
+    return PlacementProblem(vnfs=vnfs, capacities=caps)
+
+
+@given(demands=demands_strategy)
+@settings(max_examples=40, deadline=None)
+def test_ffd_places_everything_within_capacity(demands):
+    result = FFDPlacement().place(_problem(demands))
+    result.validate()
+
+
+@given(demands=demands_strategy)
+@settings(max_examples=40, deadline=None)
+def test_nah_places_everything_within_capacity(demands):
+    result = NAHPlacement().place(_problem(demands))
+    result.validate()
+
+
+@given(demands=demands_strategy)
+@settings(max_examples=40, deadline=None)
+def test_bfd_places_everything_within_capacity(demands):
+    result = BFDPlacement().place(_problem(demands))
+    result.validate()
+
+
+@given(demands=demands_strategy, seed=st.integers(min_value=0, max_value=99))
+@settings(max_examples=40, deadline=None)
+def test_bfdsu_places_everything_within_capacity(demands, seed):
+    result = BFDSUPlacement(rng=np.random.default_rng(seed)).place(
+        _problem(demands)
+    )
+    result.validate()
+
+
+@given(demands=demands_strategy, seed=st.integers(min_value=0, max_value=99))
+@settings(max_examples=40, deadline=None)
+def test_bfdsu_volume_bound(demands, seed):
+    """Used-node capacity always covers the demand placed on it."""
+    result = BFDSUPlacement(rng=np.random.default_rng(seed)).place(
+        _problem(demands)
+    )
+    assert result.total_occupied_capacity >= sum(demands) - 1e-9
+
+
+@given(demands=demands_strategy)
+@settings(max_examples=40, deadline=None)
+def test_consolidating_algorithms_use_fewer_nodes_than_spreading(demands):
+    """BFD (best fit) never uses more nodes than FFD (largest-residual)."""
+    bfd = BFDPlacement().place(_problem(demands))
+    ffd = FFDPlacement().place(_problem(demands))
+    assert bfd.num_used_nodes <= ffd.num_used_nodes
+
+
+@given(demands=demands_strategy)
+@settings(max_examples=40, deadline=None)
+def test_utilization_in_unit_interval(demands):
+    for algo in (FFDPlacement(), NAHPlacement(), BFDPlacement()):
+        result = algo.place(_problem(demands))
+        assert 0.0 < result.average_utilization <= 1.0 + 1e-9

@@ -1,0 +1,92 @@
+"""Unit tests for loss-feedback effective arrival rates."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.queueing import feedback
+
+
+class TestEffectiveRate:
+    def test_no_loss_identity(self):
+        assert feedback.effective_arrival_rate(10.0, 1.0) == pytest.approx(10.0)
+
+    def test_two_percent_loss(self):
+        # lambda / P with P = 0.98.
+        assert feedback.effective_arrival_rate(9.8, 0.98) == pytest.approx(10.0)
+
+    def test_rate_grows_as_p_drops(self):
+        rates = [
+            feedback.effective_arrival_rate(10.0, p) for p in (1.0, 0.9, 0.5)
+        ]
+        assert rates[0] < rates[1] < rates[2]
+
+    def test_zero_rate(self):
+        assert feedback.effective_arrival_rate(0.0, 0.5) == 0.0
+
+    def test_invalid_probability(self):
+        for p in (0.0, -0.5, 1.5):
+            with pytest.raises(ValidationError):
+                feedback.effective_arrival_rate(1.0, p)
+
+    def test_negative_rate(self):
+        with pytest.raises(ValidationError):
+            feedback.effective_arrival_rate(-1.0, 0.9)
+
+
+class TestRetransmissionRate:
+    def test_no_loss_no_retransmissions(self):
+        assert feedback.retransmission_rate(10.0, 1.0) == pytest.approx(0.0)
+
+    def test_matches_geometric_overhead(self):
+        # Retransmission rate = lambda (1 - P) / P.
+        assert feedback.retransmission_rate(10.0, 0.8) == pytest.approx(2.5)
+
+
+class TestMergedRate:
+    def test_single_flow(self):
+        assert feedback.merged_effective_rate([(10.0, 0.5)]) == pytest.approx(20.0)
+
+    def test_multiple_flows(self):
+        flows = [(10.0, 1.0), (9.0, 0.9), (8.0, 0.8)]
+        assert feedback.merged_effective_rate(flows) == pytest.approx(
+            10.0 + 10.0 + 10.0
+        )
+
+    def test_empty_is_zero(self):
+        assert feedback.merged_effective_rate([]) == 0.0
+
+    def test_propagates_validation(self):
+        with pytest.raises(ValidationError):
+            feedback.merged_effective_rate([(1.0, 0.0)])
+
+
+class TestExpectedTransmissions:
+    def test_geometric_mean(self):
+        assert feedback.expected_transmissions(0.5) == pytest.approx(2.0)
+        assert feedback.expected_transmissions(1.0) == pytest.approx(1.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValidationError):
+            feedback.expected_transmissions(0.0)
+
+
+class TestAggregateExternal:
+    def test_sums(self):
+        assert feedback.aggregate_external_rate([1.0, 2.0, 3.5]) == pytest.approx(6.5)
+
+    def test_empty(self):
+        assert feedback.aggregate_external_rate([]) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            feedback.aggregate_external_rate([1.0, -2.0])
+
+
+class TestValidateDeliveryProbability:
+    def test_boundaries(self):
+        feedback.validate_delivery_probability(1.0)
+        feedback.validate_delivery_probability(1e-9)
+        with pytest.raises(ValidationError):
+            feedback.validate_delivery_probability(0.0)
+        with pytest.raises(ValidationError):
+            feedback.validate_delivery_probability(1.0000001)

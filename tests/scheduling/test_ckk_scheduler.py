@@ -1,0 +1,57 @@
+"""Unit tests for the CKK two-way scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SchedulingError
+from repro.nfv.chain import ServiceChain
+from repro.nfv.request import Request
+from repro.nfv.vnf import VNF
+from repro.scheduling.base import SchedulingProblem
+from repro.scheduling.ckk import CKKScheduler
+from repro.scheduling.rckk import RCKKScheduler
+
+CHAIN = ServiceChain(["fw"])
+
+
+def _problem(rates, instances=2):
+    vnf = VNF("fw", 1.0, instances, 1e6)
+    requests = [
+        Request(f"r{i}", CHAIN, rate) for i, rate in enumerate(rates)
+    ]
+    return SchedulingProblem(vnf=vnf, requests=requests)
+
+
+class TestCKK:
+    def test_optimal_split(self):
+        result = CKKScheduler().schedule(_problem([5.0, 5.0, 4.0, 3.0, 3.0]))
+        rates = sorted(result.instance_rates())
+        assert rates == [pytest.approx(10.0), pytest.approx(10.0)]
+
+    def test_requires_two_instances(self):
+        with pytest.raises(SchedulingError):
+            CKKScheduler().schedule(_problem([1.0, 2.0, 3.0], instances=3))
+
+    def test_never_worse_than_rckk(self):
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            rates = list(rng.uniform(1.0, 100.0, size=14))
+            problem = _problem(rates)
+            ckk = CKKScheduler().schedule(problem)
+            rckk = RCKKScheduler().schedule(problem)
+
+            def spread(result):
+                r = result.instance_rates()
+                return max(r) - min(r)
+
+            assert spread(ckk) <= spread(rckk) + 1e-9
+
+    def test_validates(self):
+        result = CKKScheduler().schedule(_problem([1.0, 2.0, 3.0, 4.0]))
+        result.validate()
+
+    def test_budget_still_yields_valid_schedule(self):
+        result = CKKScheduler(max_nodes=10).schedule(
+            _problem(list(np.random.default_rng(1).uniform(1, 100, 30)))
+        )
+        result.validate()

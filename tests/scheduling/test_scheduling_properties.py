@@ -1,0 +1,85 @@
+"""Property-based tests for scheduling algorithms (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nfv.chain import ServiceChain
+from repro.nfv.request import Request
+from repro.nfv.vnf import VNF
+from repro.scheduling import (
+    CGAScheduler,
+    LeastLoadedScheduler,
+    RCKKScheduler,
+    RoundRobinScheduler,
+)
+from repro.scheduling.base import SchedulingProblem
+
+CHAIN = ServiceChain(["fw"])
+
+rates_strategy = st.lists(
+    st.floats(min_value=0.1, max_value=100.0, allow_nan=False),
+    min_size=1,
+    max_size=30,
+)
+instances_strategy = st.integers(min_value=1, max_value=8)
+
+SCHEDULERS = [
+    RCKKScheduler(),
+    CGAScheduler(),
+    RoundRobinScheduler(),
+    LeastLoadedScheduler(),
+]
+
+
+def _problem(rates, instances):
+    vnf = VNF("fw", 1.0, instances, 1e6)
+    requests = [
+        Request(f"r{i}", CHAIN, rate) for i, rate in enumerate(rates)
+    ]
+    return SchedulingProblem(vnf=vnf, requests=requests)
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+@given(rates=rates_strategy, instances=instances_strategy)
+@settings(max_examples=30, deadline=None)
+def test_schedule_is_complete_and_valid(scheduler, rates, instances):
+    """Eq. (5): every request lands on exactly one in-range instance."""
+    result = scheduler.schedule(_problem(rates, instances))
+    result.validate()
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+@given(rates=rates_strategy, instances=instances_strategy)
+@settings(max_examples=30, deadline=None)
+def test_total_rate_conserved(scheduler, rates, instances):
+    """Eq. (7): instance rates sum to the total effective rate."""
+    problem = _problem(rates, instances)
+    result = scheduler.schedule(problem)
+    assert sum(result.instance_rates()) == pytest.approx(
+        problem.total_effective_rate(), rel=1e-9
+    )
+
+
+@given(rates=rates_strategy, instances=instances_strategy)
+@settings(max_examples=30, deadline=None)
+def test_rckk_makespan_lower_bound(rates, instances):
+    """No instance can carry less than total/m at the makespan."""
+    problem = _problem(rates, instances)
+    result = RCKKScheduler().schedule(problem)
+    makespan = max(result.instance_rates())
+    assert makespan >= problem.total_effective_rate() / instances - 1e-6
+
+
+@given(rates=rates_strategy, instances=instances_strategy)
+@settings(max_examples=30, deadline=None)
+def test_rckk_never_worse_than_round_robin_spread(rates, instances):
+    problem = _problem(rates, instances)
+    rckk = RCKKScheduler().schedule(problem)
+    rr = RoundRobinScheduler().schedule(problem)
+
+    def spread(result):
+        r = result.instance_rates()
+        return max(r) - min(r)
+
+    assert spread(rckk) <= spread(rr) + 1e-6

@@ -1,0 +1,99 @@
+"""Unit tests for the move/swap schedule refinement."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.nfv.chain import ServiceChain
+from repro.nfv.request import Request
+from repro.nfv.vnf import VNF
+from repro.scheduling.base import SchedulingProblem
+from repro.scheduling.rckk import RCKKScheduler
+from repro.scheduling.round_robin import RoundRobinScheduler
+from repro.scheduling.swap_refine import SwapRefinedScheduler, refine_assignment
+
+CHAIN = ServiceChain(["fw"])
+
+
+def _problem(rates, instances=3):
+    vnf = VNF("fw", 1.0, instances, 1e6)
+    requests = [
+        Request(f"r{i}", CHAIN, rate) for i, rate in enumerate(rates)
+    ]
+    return SchedulingProblem(vnf=vnf, requests=requests)
+
+
+class TestRefineAssignment:
+    def test_move_fixes_gross_imbalance(self):
+        # All on way 0.
+        rates = [5.0, 5.0, 5.0, 5.0]
+        assignment, moves = refine_assignment(rates, [0, 0, 0, 0], 2)
+        sums = [0.0, 0.0]
+        for idx, way in enumerate(assignment):
+            sums[way] += rates[idx]
+        assert max(sums) == pytest.approx(10.0)
+        assert moves > 0
+
+    def test_swap_when_move_cannot_help(self):
+        # Ways: [9, 1] and [5, 5]: moving 9 or 1 can't beat swapping 9<->5.
+        rates = [9.0, 1.0, 5.0, 5.0]
+        assignment, _ = refine_assignment(rates, [0, 0, 1, 1], 2)
+        sums = [0.0, 0.0]
+        for idx, way in enumerate(assignment):
+            sums[way] += rates[idx]
+        assert max(sums) == pytest.approx(10.0)
+
+    def test_never_increases_makespan(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            rates = list(rng.uniform(1.0, 50.0, size=12))
+            start = list(rng.integers(0, 4, size=12))
+            before = max(
+                sum(rates[i] for i in range(12) if start[i] == w)
+                for w in range(4)
+            )
+            refined, _ = refine_assignment(rates, start, 4)
+            after = max(
+                sum(rates[i] for i in range(12) if refined[i] == w)
+                for w in range(4)
+            )
+            assert after <= before + 1e-9
+
+    def test_input_not_mutated(self):
+        start = [0, 0, 1]
+        refine_assignment([3.0, 2.0, 1.0], start, 2)
+        assert start == [0, 0, 1]
+
+    def test_bad_rounds(self):
+        with pytest.raises(ValidationError):
+            refine_assignment([1.0], [0], 1, max_rounds=0)
+
+
+class TestSwapRefinedScheduler:
+    def test_improves_round_robin(self):
+        rng = np.random.default_rng(1)
+        rates = list(rng.uniform(1.0, 100.0, size=15))
+        problem = _problem(rates, instances=4)
+        rr = RoundRobinScheduler().schedule(problem)
+        refined = SwapRefinedScheduler(
+            base=RoundRobinScheduler()
+        ).schedule(problem)
+        assert max(refined.instance_rates()) <= max(rr.instance_rates()) + 1e-9
+
+    def test_no_worse_than_rckk(self):
+        rng = np.random.default_rng(2)
+        for rep in range(10):
+            rates = list(rng.uniform(1.0, 100.0, size=20))
+            problem = _problem(rates, instances=5)
+            rckk = RCKKScheduler().schedule(problem)
+            refined = SwapRefinedScheduler().schedule(problem)
+            assert (
+                max(refined.instance_rates())
+                <= max(rckk.instance_rates()) + 1e-9
+            )
+
+    def test_valid_schedule(self):
+        problem = _problem([5.0, 4.0, 3.0, 2.0, 1.0])
+        result = SwapRefinedScheduler().schedule(problem)
+        result.validate()
+        assert result.algorithm == "SwapRefined(RCKK)"

@@ -1,0 +1,173 @@
+"""Unit tests for the chain simulator."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.nfv.chain import ServiceChain
+from repro.nfv.request import Request
+from repro.nfv.vnf import VNF
+from repro.sim.simulator import ChainSimulator, SimulationConfig
+
+
+def _setup(p=1.0, rate=20.0, mus=(100.0, 80.0)):
+    vnfs = [
+        VNF(f"vnf{i}", 1.0, 1, mu) for i, mu in enumerate(mus)
+    ]
+    chain = ServiceChain([f.name for f in vnfs])
+    request = Request("r0", chain, rate, delivery_probability=p)
+    schedule = {("r0", f.name): 0 for f in vnfs}
+    return vnfs, [request], schedule
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        SimulationConfig()
+
+    def test_bad_duration(self):
+        with pytest.raises(ValidationError):
+            SimulationConfig(duration=0.0)
+
+    def test_bad_warmup(self):
+        with pytest.raises(ValidationError):
+            SimulationConfig(duration=10.0, warmup=10.0)
+
+    def test_bad_nack_delay(self):
+        with pytest.raises(ValidationError):
+            SimulationConfig(nack_delay=-1.0)
+
+
+class TestValidation:
+    def test_missing_schedule_entry(self):
+        vnfs, requests, schedule = _setup()
+        del schedule[("r0", "vnf1")]
+        with pytest.raises(ValidationError):
+            ChainSimulator(vnfs, requests, schedule)
+
+    def test_unknown_vnf_in_chain(self):
+        vnfs, requests, schedule = _setup()
+        with pytest.raises(ValidationError):
+            ChainSimulator(vnfs[:1], requests, schedule)
+
+    def test_out_of_range_instance(self):
+        vnfs, requests, schedule = _setup()
+        schedule[("r0", "vnf0")] = 5
+        with pytest.raises(ValidationError):
+            ChainSimulator(vnfs, requests, schedule)
+
+
+class TestLossFreeRun:
+    def test_packets_flow_end_to_end(self):
+        vnfs, requests, schedule = _setup()
+        sim = ChainSimulator(
+            vnfs, requests, schedule,
+            SimulationConfig(duration=100.0, warmup=10.0, seed=1),
+        )
+        metrics = sim.run()
+        assert metrics.total_delivered > 0
+        assert metrics.generated >= metrics.total_delivered
+        assert not any(metrics.retransmitted.values())
+
+    def test_instance_stats_present(self):
+        vnfs, requests, schedule = _setup()
+        metrics = ChainSimulator(
+            vnfs, requests, schedule,
+            SimulationConfig(duration=50.0, warmup=5.0, seed=2),
+        ).run()
+        s0 = metrics.instance("vnf0", 0)
+        assert s0.arrivals > 0
+        assert 0.0 < s0.utilization < 1.0
+        with pytest.raises(KeyError):
+            metrics.instance("ghost", 0)
+
+    def test_deterministic_given_seed(self):
+        vnfs, requests, schedule = _setup()
+        cfg = SimulationConfig(duration=30.0, warmup=0.0, seed=9)
+        m1 = ChainSimulator(vnfs, requests, schedule, cfg).run()
+        m2 = ChainSimulator(vnfs, requests, schedule, cfg).run()
+        assert m1.total_delivered == m2.total_delivered
+        assert m1.mean_end_to_end() == pytest.approx(m2.mean_end_to_end())
+
+
+class TestLossAndRetransmission:
+    def test_retransmissions_happen(self):
+        vnfs, requests, schedule = _setup(p=0.8)
+        metrics = ChainSimulator(
+            vnfs, requests, schedule,
+            SimulationConfig(duration=200.0, warmup=20.0, seed=3),
+        ).run()
+        assert metrics.retransmitted["r0"] > 0
+
+    def test_loss_increases_server_load(self):
+        clean = ChainSimulator(
+            *_setup(p=1.0),
+            SimulationConfig(duration=300.0, warmup=30.0, seed=4),
+        ).run()
+        lossy = ChainSimulator(
+            *_setup(p=0.85),
+            SimulationConfig(duration=300.0, warmup=30.0, seed=4),
+        ).run()
+        assert (
+            lossy.instance("vnf0", 0).utilization
+            > clean.instance("vnf0", 0).utilization
+        )
+
+    def test_retransmission_fraction_tracks_loss_rate(self):
+        p = 0.9
+        metrics = ChainSimulator(
+            *_setup(p=p, rate=50.0),
+            SimulationConfig(duration=400.0, warmup=40.0, seed=5),
+        ).run()
+        delivered = metrics.total_delivered
+        retrans = metrics.retransmitted["r0"]
+        # Fraction of packets needing >= 1 retransmission ~ (1 - p).
+        assert retrans / delivered == pytest.approx(1.0 - p, abs=0.03)
+
+    def test_nack_delay_slows_retransmission(self):
+        fast = ChainSimulator(
+            *_setup(p=0.7, rate=30.0),
+            SimulationConfig(duration=200.0, warmup=20.0, seed=6),
+        ).run()
+        slow = ChainSimulator(
+            *_setup(p=0.7, rate=30.0),
+            SimulationConfig(
+                duration=200.0, warmup=20.0, seed=6, nack_delay=0.5
+            ),
+        ).run()
+        assert slow.mean_end_to_end() > fast.mean_end_to_end()
+
+
+class TestSharedInstances:
+    def test_two_requests_share_one_instance(self):
+        vnf = VNF("fw", 1.0, 1, 200.0)
+        chain = ServiceChain(["fw"])
+        requests = [
+            Request("a", chain, 30.0),
+            Request("b", chain, 40.0),
+        ]
+        schedule = {("a", "fw"): 0, ("b", "fw"): 0}
+        metrics = ChainSimulator(
+            [vnf], requests, schedule,
+            SimulationConfig(duration=100.0, warmup=10.0, seed=7),
+        ).run()
+        stats = metrics.instance("fw", 0)
+        # Merged arrivals ~ 70 pps over the run horizon.
+        assert stats.arrivals > 0
+        assert metrics.delivered["a"] > 0
+        assert metrics.delivered["b"] > 0
+
+    def test_requests_on_distinct_instances_isolated(self):
+        vnf = VNF("fw", 1.0, 2, 50.0)
+        chain = ServiceChain(["fw"])
+        requests = [
+            Request("a", chain, 45.0),  # hot
+            Request("b", chain, 5.0),   # cold
+        ]
+        schedule = {("a", "fw"): 0, ("b", "fw"): 1}
+        metrics = ChainSimulator(
+            [vnf], requests, schedule,
+            SimulationConfig(duration=200.0, warmup=20.0, seed=8),
+        ).run()
+        hot = metrics.instance("fw", 0)
+        cold = metrics.instance("fw", 1)
+        assert hot.utilization > cold.utilization
+        assert hot.mean_sojourn > cold.mean_sojourn

@@ -1,0 +1,87 @@
+"""Unit + stress tests for the trace-replay source (MMPP burstiness)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.queueing.mm1 import MM1Queue
+from repro.sim.engine import SimulationEngine
+from repro.sim.entities import SimServer, TraceSource
+from repro.workload.mmpp import MMPP2
+
+
+class TestTraceSource:
+    def test_replays_exact_times(self):
+        engine = SimulationEngine()
+        arrivals = []
+        source = TraceSource(
+            engine, "r0", [0.5, 1.0, 2.5], lambda p: arrivals.append(engine.now)
+        )
+        source.start()
+        engine.run()
+        assert arrivals == [0.5, 1.0, 2.5]
+        assert source.generated == 3
+
+    def test_unsorted_rejected(self):
+        engine = SimulationEngine()
+        with pytest.raises(SimulationError):
+            TraceSource(engine, "r0", [2.0, 1.0], lambda p: None)
+
+    def test_negative_rejected(self):
+        engine = SimulationEngine()
+        with pytest.raises(SimulationError):
+            TraceSource(engine, "r0", [-1.0], lambda p: None)
+
+    def test_empty_trace(self):
+        engine = SimulationEngine()
+        source = TraceSource(engine, "r0", [], lambda p: None)
+        source.start()
+        engine.run()
+        assert source.generated == 0
+
+
+class TestBurstinessStress:
+    """MMPP/M/1 waits longer than the Poisson-equivalent M/M/1.
+
+    This is the model-robustness boundary the paper's Jackson assumption
+    lives on: with the same mean rate, burstier input means longer
+    queues than the analytics predict.
+    """
+
+    def _measured_sojourn(self, arrival_times, mu, horizon, seed=0):
+        engine = SimulationEngine()
+        server = SimServer(
+            engine=engine,
+            service_rate=mu,
+            rng=np.random.default_rng(seed),
+            on_departure=lambda p, s: None,
+        )
+        TraceSource(engine, "r0", arrival_times, server.enqueue).start()
+        engine.run(until=horizon)
+        return server.mean_sojourn()
+
+    def test_mmpp_waits_exceed_poisson_prediction(self):
+        mmpp = MMPP2(
+            rate_high=80.0, rate_low=5.0,
+            switch_to_low=1.0, switch_to_high=1.0,
+        )
+        horizon = 2000.0
+        trace = mmpp.sample_arrival_times(
+            horizon, np.random.default_rng(10)
+        )
+        mu = mmpp.mean_rate / 0.7  # rho = 0.7 at the mean rate
+        measured = self._measured_sojourn(trace, mu, horizon)
+        analytic_poisson = MM1Queue(mmpp.mean_rate, mu).mean_response_time
+        # Burstiness inflates the real sojourn well beyond the Poisson
+        # closed form.
+        assert measured > analytic_poisson * 1.3
+
+    def test_poisson_trace_matches_prediction(self):
+        from repro.workload.traces import poisson_arrival_times
+
+        rate, horizon = 40.0, 2000.0
+        trace = poisson_arrival_times(rate, horizon, np.random.default_rng(11))
+        mu = rate / 0.7
+        measured = self._measured_sojourn(trace, mu, horizon)
+        analytic = MM1Queue(rate, mu).mean_response_time
+        assert measured == pytest.approx(analytic, rel=0.15)

@@ -1,0 +1,43 @@
+"""Unit tests for the ``python -m repro`` CLI."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestDemo:
+    def test_runs_and_prints(self, capsys):
+        assert main(["demo", "--vnfs", "6", "--nodes", "5",
+                     "--requests", "20", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "utilization" in out
+        assert "rejection" in out
+
+
+class TestExperiments:
+    def test_named_figure(self, capsys):
+        assert main(["experiments", "fig10"]) == 0
+        out = capsys.readouterr().out
+        assert "fig10" in out
+        assert "BFDSU" in out
+
+    def test_unknown_figure_raises(self):
+        with pytest.raises(ModuleNotFoundError):
+            main(["experiments", "fig99"])
+
+
+class TestSimulate:
+    def test_agreement_printed(self, capsys):
+        assert main([
+            "simulate", "--rate", "20", "--mu1", "80", "--mu2", "60",
+            "--p", "0.99", "--duration", "200", "--seed", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "analytic" in out
+        assert "relative error" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

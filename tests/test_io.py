@@ -1,0 +1,107 @@
+"""Unit tests for JSON serialization round-trips."""
+
+import numpy as np
+import pytest
+
+from repro import io
+from repro.core.joint import JointOptimizer
+from repro.exceptions import ValidationError
+from repro.nfv.chain import ServiceChain
+from repro.nfv.request import Request
+from repro.nfv.vnf import VNF, VNFCategory
+from repro.placement.bfd import BFDPlacement
+from repro.workload.generator import WorkloadGenerator
+
+
+@pytest.fixture
+def workload():
+    gen = WorkloadGenerator(np.random.default_rng(9))
+    return gen.workload(num_vnfs=6, num_nodes=4, num_requests=15)
+
+
+class TestVnfRoundTrip:
+    def test_roundtrip(self):
+        vnf = VNF("fw", 10.0, 3, 200.0, category=VNFCategory.SECURITY)
+        back = io.vnf_from_dict(io.vnf_to_dict(vnf))
+        assert back == vnf
+
+    def test_missing_field(self):
+        with pytest.raises(ValidationError):
+            io.vnf_from_dict({"name": "fw"})
+
+    def test_default_category(self):
+        data = io.vnf_to_dict(VNF("fw", 1.0, 1, 1.0))
+        del data["category"]
+        assert io.vnf_from_dict(data).category is VNFCategory.OTHER
+
+
+class TestRequestRoundTrip:
+    def test_roundtrip(self):
+        r = Request("r0", ServiceChain(["a", "b"]), 5.0, 0.98)
+        back = io.request_from_dict(io.request_to_dict(r))
+        assert back == r
+
+    def test_missing_field(self):
+        with pytest.raises(ValidationError):
+            io.request_from_dict({"request_id": "x"})
+
+
+class TestWorkloadRoundTrip:
+    def test_roundtrip_preserves_everything(self, workload):
+        back = io.workload_from_dict(io.workload_to_dict(workload))
+        assert back.vnfs == workload.vnfs
+        assert back.requests == workload.requests
+        assert back.capacities == workload.capacities
+        assert [c.vnf_names for c in back.chains] == [
+            c.vnf_names for c in workload.chains
+        ]
+
+    def test_wrong_kind_rejected(self, workload):
+        data = io.workload_to_dict(workload)
+        data["kind"] = "deployment"
+        with pytest.raises(ValidationError):
+            io.workload_from_dict(data)
+
+    def test_wrong_version_rejected(self, workload):
+        data = io.workload_to_dict(workload)
+        data["format_version"] = 999
+        with pytest.raises(ValidationError):
+            io.workload_from_dict(data)
+
+
+class TestStateRoundTrip:
+    def test_roundtrip_valid_solution(self, workload):
+        solution = JointOptimizer(placement=BFDPlacement()).optimize(
+            workload.vnfs, workload.requests, workload.capacities
+        )
+        data = io.state_to_dict(solution.state)
+        back = io.state_from_dict(data)
+        assert back.placement == solution.state.placement
+        assert back.schedule == solution.state.schedule
+        # Metrics survive the round trip bit-for-bit.
+        assert back.average_node_utilization() == pytest.approx(
+            solution.state.average_node_utilization()
+        )
+
+    def test_corrupted_schedule_rejected_on_load(self, workload):
+        solution = JointOptimizer(placement=BFDPlacement()).optimize(
+            workload.vnfs, workload.requests, workload.capacities
+        )
+        data = io.state_to_dict(solution.state)
+        data["schedule"][0]["instance"] = 999
+        with pytest.raises(ValidationError):
+            io.state_from_dict(data)
+
+
+class TestFiles:
+    def test_save_and_load(self, workload, tmp_path):
+        path = tmp_path / "workload.json"
+        io.save_json(io.workload_to_dict(workload), path)
+        back = io.workload_from_dict(io.load_json(path))
+        assert back.capacities == workload.capacities
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ValidationError):
+            io.load_json(path)

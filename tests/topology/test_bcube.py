@@ -1,0 +1,71 @@
+"""Unit tests for the BCube topology generator."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.topology import Router, bcube
+
+
+class TestDimensions:
+    def test_base_cell(self):
+        topo = bcube(4, 0)
+        assert topo.num_compute_nodes == 4
+        assert topo.num_switches == 1
+        assert topo.num_links == 4
+
+    def test_bcube_2_1(self):
+        topo = bcube(2, 1)
+        # 4 servers, 2 levels x 2 switches, each server 2 links.
+        assert topo.num_compute_nodes == 4
+        assert topo.num_switches == 4
+        assert topo.num_links == 8
+
+    def test_bcube_4_1(self):
+        topo = bcube(4, 1)
+        assert topo.num_compute_nodes == 16
+        assert topo.num_switches == 8
+        # Each server has k+1 = 2 links.
+        assert topo.num_links == 32
+
+    def test_connected(self):
+        bcube(4, 1).validate()
+        bcube(3, 2).validate()
+
+
+class TestStructure:
+    def test_level0_groups_consecutive(self):
+        topo = bcube(2, 1)
+        assert set(topo.neighbors("sw0-0")) == {"server0", "server1"}
+        assert set(topo.neighbors("sw0-1")) == {"server2", "server3"}
+
+    def test_level1_groups_strided(self):
+        topo = bcube(2, 1)
+        assert set(topo.neighbors("sw1-0")) == {"server0", "server2"}
+        assert set(topo.neighbors("sw1-1")) == {"server1", "server3"}
+
+    def test_one_hop_pairs(self):
+        router = Router(bcube(2, 1))
+        # Same level-0 switch: 2 hops through it.
+        assert router.hop_count("server0", "server1") == 2
+        # Same level-1 switch: also 2 hops.
+        assert router.hop_count("server0", "server2") == 2
+
+    def test_capacity_fn(self):
+        topo = bcube(2, 0, capacity_fn=lambda i: 10.0 * (i + 1))
+        caps = topo.capacities()
+        assert caps["server0"] == 10.0
+        assert caps["server1"] == 20.0
+
+
+class TestValidation:
+    def test_bad_n(self):
+        with pytest.raises(ValidationError):
+            bcube(1, 0)
+
+    def test_bad_k(self):
+        with pytest.raises(ValidationError):
+            bcube(2, -1)
+
+    def test_size_guard(self):
+        with pytest.raises(ValidationError):
+            bcube(8, 4)  # 32768 servers

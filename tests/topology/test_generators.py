@@ -1,0 +1,110 @@
+"""Unit tests for the topology generators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.topology import fat_tree, leaf_spine, random_datacenter
+
+
+class TestFatTree:
+    def test_k4_dimensions(self):
+        topo = fat_tree(4)
+        # k=4: k^3/4 = 16 servers.
+        assert topo.num_compute_nodes == 16
+
+    def test_k4_switch_count(self):
+        topo = fat_tree(4)
+        # (k/2)^2 core + k pods x (k/2 agg + k/2 edge) = 4 + 16 = 20.
+        assert topo.num_switches == 20
+
+    def test_connected(self):
+        fat_tree(4).validate()
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(ValidationError):
+            fat_tree(3)
+
+    def test_max_servers_truncation(self):
+        topo = fat_tree(4, max_servers=5)
+        assert topo.num_compute_nodes == 5
+
+    def test_capacity_fn(self):
+        topo = fat_tree(2, capacity_fn=lambda i: 100.0 + i)
+        caps = sorted(topo.capacities().values())
+        assert caps[0] == pytest.approx(100.0)
+
+    def test_zero_servers_rejected(self):
+        with pytest.raises(ValidationError):
+            fat_tree(4, max_servers=0)
+
+
+class TestLeafSpine:
+    def test_dimensions(self):
+        topo = leaf_spine(num_leaves=3, num_spines=2, servers_per_leaf=4)
+        assert topo.num_compute_nodes == 12
+        assert topo.num_switches == 5
+        # leaf-spine links (3x2) + server links (12).
+        assert topo.num_links == 6 + 12
+
+    def test_connected(self):
+        leaf_spine(2, 2, 2).validate()
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValidationError):
+            leaf_spine(0, 1, 1)
+        with pytest.raises(ValidationError):
+            leaf_spine(1, 0, 1)
+        with pytest.raises(ValidationError):
+            leaf_spine(1, 1, 0)
+
+
+class TestRandomDatacenter:
+    def test_size_and_connectivity(self):
+        topo = random_datacenter(20, rng=np.random.default_rng(1))
+        assert topo.num_compute_nodes == 20
+        topo.validate()
+
+    def test_capacity_range(self):
+        topo = random_datacenter(
+            50, capacity_range=(100.0, 200.0), rng=np.random.default_rng(2)
+        )
+        for cap in topo.capacities().values():
+            assert 100.0 <= cap <= 200.0
+
+    def test_explicit_capacities(self):
+        caps = [10.0, 20.0, 30.0]
+        topo = random_datacenter(
+            3, capacities=caps, rng=np.random.default_rng(3)
+        )
+        assert sorted(topo.capacities().values()) == caps
+
+    def test_capacity_count_mismatch(self):
+        with pytest.raises(ValidationError):
+            random_datacenter(3, capacities=[1.0])
+
+    def test_tree_when_no_extra_edges(self):
+        topo = random_datacenter(
+            10, extra_edge_probability=0.0, rng=np.random.default_rng(4)
+        )
+        assert topo.num_links == 9
+
+    def test_clique_when_probability_one(self):
+        topo = random_datacenter(
+            6, extra_edge_probability=1.0, rng=np.random.default_rng(5)
+        )
+        assert topo.num_links == 15
+
+    def test_deterministic_given_seed(self):
+        a = random_datacenter(10, rng=np.random.default_rng(42))
+        b = random_datacenter(10, rng=np.random.default_rng(42))
+        assert a.capacities() == b.capacities()
+        assert sorted(a.graph.edges()) == sorted(b.graph.edges())
+
+    def test_single_node(self):
+        topo = random_datacenter(1, rng=np.random.default_rng(6))
+        topo.validate()
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValidationError):
+            random_datacenter(3, extra_edge_probability=1.5)

@@ -1,0 +1,85 @@
+"""Unit tests for shortest-path routing."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.topology import Router, leaf_spine
+from repro.topology.graph import DatacenterTopology
+
+
+@pytest.fixture
+def line_topology():
+    """a - b - c with distinct latencies."""
+    topo = DatacenterTopology()
+    for key in ("a", "b", "c"):
+        topo.add_compute_node(key, 10.0)
+    topo.add_link("a", "b", latency=1.0)
+    topo.add_link("b", "c", latency=2.0)
+    return topo
+
+
+class TestPathQueries:
+    def test_direct_path(self, line_topology):
+        router = Router(line_topology)
+        assert router.path("a", "b") == ["a", "b"]
+        assert router.latency("a", "b") == pytest.approx(1.0)
+
+    def test_two_hop_path(self, line_topology):
+        router = Router(line_topology)
+        assert router.path("a", "c") == ["a", "b", "c"]
+        assert router.latency("a", "c") == pytest.approx(3.0)
+        assert router.hop_count("a", "c") == 2
+
+    def test_self_path(self, line_topology):
+        router = Router(line_topology)
+        assert router.latency("a", "a") == 0.0
+        assert router.hop_count("a", "a") == 0
+
+    def test_prefers_low_latency(self):
+        topo = DatacenterTopology()
+        for key in ("a", "b", "c"):
+            topo.add_compute_node(key, 10.0)
+        topo.add_link("a", "c", latency=10.0)
+        topo.add_link("a", "b", latency=1.0)
+        topo.add_link("b", "c", latency=1.0)
+        router = Router(topo)
+        assert router.path("a", "c") == ["a", "b", "c"]
+
+    def test_unknown_vertex(self, line_topology):
+        router = Router(line_topology)
+        with pytest.raises(ValidationError):
+            router.path("a", "ghost")
+        with pytest.raises(ValidationError):
+            router.latency("ghost", "a")
+
+
+class TestWaypointLatency:
+    def test_chain_of_waypoints(self, line_topology):
+        router = Router(line_topology)
+        assert router.path_latency(["a", "b", "c"]) == pytest.approx(3.0)
+
+    def test_duplicate_waypoints_free(self, line_topology):
+        router = Router(line_topology)
+        assert router.path_latency(["a", "a", "b"]) == pytest.approx(1.0)
+
+    def test_single_waypoint(self, line_topology):
+        assert Router(line_topology).path_latency(["a"]) == 0.0
+
+
+class TestAveragePairwise:
+    def test_line(self, line_topology):
+        router = Router(line_topology)
+        # Pairs: (a,b)=1, (a,c)=3, (b,c)=2 -> mean 2.
+        assert router.average_pairwise_latency() == pytest.approx(2.0)
+
+    def test_singleton_is_zero(self):
+        topo = DatacenterTopology()
+        topo.add_compute_node("a", 1.0)
+        assert Router(topo).average_pairwise_latency() == 0.0
+
+    def test_fabric_symmetric(self):
+        topo = leaf_spine(2, 2, 2, link_latency=1e-4)
+        router = Router(topo)
+        # Same-leaf pairs: 2 hops; cross-leaf: 4 hops.
+        assert router.hop_count("server0", "server1") == 2
+        assert router.hop_count("server0", "server2") == 4

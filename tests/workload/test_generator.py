@@ -1,0 +1,138 @@
+"""Unit tests for the workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.nfv.chain import MAX_CHAIN_LENGTH
+from repro.workload.catalog import COMMON_SIX, VNF_CATALOG
+from repro.workload.generator import WorkloadGenerator
+
+
+@pytest.fixture
+def gen():
+    return WorkloadGenerator(np.random.default_rng(77))
+
+
+class TestVnfs:
+    def test_count(self, gen):
+        assert len(gen.vnfs(10)) == 10
+
+    def test_common_six_first(self, gen):
+        names = [f.name for f in gen.vnfs(8)]
+        assert names[:6] == list(COMMON_SIX)
+
+    def test_without_common_six(self, gen):
+        vnfs = gen.vnfs(3, include_common_six=False)
+        assert len(vnfs) == 3
+
+    def test_unique_names(self, gen):
+        names = [f.name for f in gen.vnfs(30)]
+        assert len(set(names)) == 30
+
+    def test_replicas_beyond_catalog(self, gen):
+        vnfs = gen.vnfs(len(VNF_CATALOG) + 3)
+        assert len(vnfs) == len(VNF_CATALOG) + 3
+        names = [f.name for f in vnfs]
+        assert len(set(names)) == len(names)
+        assert any("#" in n for n in names)
+
+    def test_instance_range_respected(self, gen):
+        for vnf in gen.vnfs(10, instance_range=(3, 5)):
+            assert 3 <= vnf.num_instances <= 5
+
+    def test_invalid_count(self, gen):
+        with pytest.raises(ConfigurationError):
+            gen.vnfs(0)
+
+    def test_invalid_instance_range(self, gen):
+        with pytest.raises(ConfigurationError):
+            gen.vnfs(3, instance_range=(5, 2))
+
+
+class TestChains:
+    def test_count_and_length(self, gen):
+        vnfs = gen.vnfs(10)
+        chains = gen.chains(vnfs, 5)
+        assert len(chains) == 5
+        for chain in chains:
+            assert 1 <= len(chain) <= MAX_CHAIN_LENGTH
+
+    def test_chains_reference_given_vnfs(self, gen):
+        vnfs = gen.vnfs(8)
+        names = {f.name for f in vnfs}
+        for chain in gen.chains(vnfs, 10):
+            assert set(chain.vnf_names) <= names
+
+    def test_short_vnf_list(self, gen):
+        vnfs = gen.vnfs(2)
+        for chain in gen.chains(vnfs, 5):
+            assert len(chain) <= 2
+
+    def test_invalid(self, gen):
+        with pytest.raises(ConfigurationError):
+            gen.chains([], 1)
+        with pytest.raises(ConfigurationError):
+            gen.chains(gen.vnfs(3), 0)
+
+
+class TestRequests:
+    def test_rates_in_range(self, gen):
+        chains = gen.chains(gen.vnfs(6), 3)
+        for r in gen.requests(chains, 50, rate_range=(1.0, 100.0)):
+            assert 1.0 <= r.arrival_rate <= 100.0
+
+    def test_delivery_probability_applied(self, gen):
+        chains = gen.chains(gen.vnfs(6), 3)
+        for r in gen.requests(chains, 10, delivery_probability=0.98):
+            assert r.delivery_probability == 0.98
+
+    def test_unique_ids(self, gen):
+        chains = gen.chains(gen.vnfs(6), 3)
+        ids = [r.request_id for r in gen.requests(chains, 40)]
+        assert len(set(ids)) == 40
+
+    def test_invalid(self, gen):
+        with pytest.raises(ConfigurationError):
+            gen.requests([], 5)
+        with pytest.raises(ConfigurationError):
+            gen.requests(gen.chains(gen.vnfs(3), 1), 0)
+
+
+class TestCapacities:
+    def test_range(self, gen):
+        caps = gen.capacities(20, capacity_range=(1.0, 5000.0))
+        assert len(caps) == 20
+        for c in caps.values():
+            assert 1.0 <= c <= 5000.0
+
+    def test_fitting_capacities_feasible(self, gen):
+        vnfs = gen.vnfs(10)
+        caps = gen.capacities_fitting(5, vnfs, headroom=1.3)
+        total = sum(caps.values())
+        demand = sum(f.total_demand for f in vnfs)
+        assert total >= demand
+        biggest = max(f.total_demand for f in vnfs)
+        assert all(c >= biggest for c in caps.values())
+
+    def test_invalid_headroom(self, gen):
+        with pytest.raises(ConfigurationError):
+            gen.capacities_fitting(3, gen.vnfs(3), headroom=0.9)
+
+
+class TestWholeWorkload:
+    def test_end_to_end(self, gen):
+        w = gen.workload(num_vnfs=8, num_nodes=5, num_requests=20)
+        assert len(w.vnfs) == 8
+        assert len(w.requests) == 20
+        assert len(w.capacities) == 5
+        assert w.total_capacity >= w.total_demand
+
+    def test_reproducible(self):
+        a = WorkloadGenerator(np.random.default_rng(5)).workload(6, 4, 10)
+        b = WorkloadGenerator(np.random.default_rng(5)).workload(6, 4, 10)
+        assert [f.name for f in a.vnfs] == [f.name for f in b.vnfs]
+        assert a.capacities == b.capacities
+        assert [r.arrival_rate for r in a.requests] == [
+            r.arrival_rate for r in b.requests
+        ]

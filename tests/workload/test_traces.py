@@ -1,0 +1,74 @@
+"""Unit tests for synthetic trace generation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.workload.traces import (
+    empirical_rate_from_trace,
+    lognormal_interarrival_trace,
+    poisson_arrival_times,
+)
+
+
+class TestPoissonTrace:
+    def test_within_horizon(self):
+        times = poisson_arrival_times(50.0, 10.0, np.random.default_rng(0))
+        assert np.all(times >= 0.0)
+        assert np.all(times < 10.0)
+
+    def test_rate_recovered(self):
+        times = poisson_arrival_times(100.0, 200.0, np.random.default_rng(1))
+        assert empirical_rate_from_trace(times) == pytest.approx(100.0, rel=0.05)
+
+    def test_sorted(self):
+        times = poisson_arrival_times(20.0, 50.0, np.random.default_rng(2))
+        assert np.all(np.diff(times) > 0.0)
+
+    def test_exponential_gaps(self):
+        times = poisson_arrival_times(50.0, 400.0, np.random.default_rng(3))
+        gaps = np.diff(times)
+        # Exponential: cv = std/mean ~ 1.
+        cv = gaps.std() / gaps.mean()
+        assert cv == pytest.approx(1.0, abs=0.1)
+
+    def test_invalid(self):
+        with pytest.raises(ValidationError):
+            poisson_arrival_times(0.0, 1.0)
+        with pytest.raises(ValidationError):
+            poisson_arrival_times(1.0, 0.0)
+
+
+class TestLognormalTrace:
+    def test_mean_rate_matched(self):
+        times = lognormal_interarrival_trace(
+            50.0, 400.0, sigma=1.0, rng=np.random.default_rng(4)
+        )
+        assert empirical_rate_from_trace(times) == pytest.approx(50.0, rel=0.15)
+
+    def test_heavier_tail_than_poisson(self):
+        rng = np.random.default_rng(5)
+        ln = lognormal_interarrival_trace(50.0, 400.0, sigma=1.5, rng=rng)
+        po = poisson_arrival_times(50.0, 400.0, np.random.default_rng(6))
+        ln_cv = np.diff(ln).std() / np.diff(ln).mean()
+        po_cv = np.diff(po).std() / np.diff(po).mean()
+        assert ln_cv > po_cv
+
+    def test_invalid(self):
+        with pytest.raises(ValidationError):
+            lognormal_interarrival_trace(1.0, 1.0, sigma=0.0)
+
+
+class TestEmpiricalRate:
+    def test_exact_for_regular_trace(self):
+        # 11 arrivals over 10 seconds: rate 1.
+        times = np.arange(0.0, 10.5, 1.0)
+        assert empirical_rate_from_trace(times) == pytest.approx(1.0)
+
+    def test_too_few_arrivals(self):
+        with pytest.raises(ValidationError):
+            empirical_rate_from_trace(np.array([1.0]))
+
+    def test_non_increasing_rejected(self):
+        with pytest.raises(ValidationError):
+            empirical_rate_from_trace(np.array([2.0, 2.0]))
