@@ -1,4 +1,4 @@
-.PHONY: install test bench experiments examples clean
+.PHONY: install test bench experiments examples ci clean
 
 PYTHON ?= python
 
@@ -16,6 +16,10 @@ experiments:
 
 experiments-paper:
 	$(PYTHON) -m repro.experiments.runall --paper
+
+ci:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+	PYTHONPATH=src $(PYTHON) -m repro.experiments.runall --only fig05 --jobs 2 --seed 7
 
 examples:
 	@for f in examples/*.py; do echo "== $$f =="; $(PYTHON) $$f; echo; done

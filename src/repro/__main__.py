@@ -5,9 +5,9 @@ Commands
 ``demo``
     Run the quickstart pipeline on a generated workload and print the
     evaluation report.
-``experiments [figNN ...] [--paper]``
-    Run all experiments (or the named ones) and print the paper-style
-    tables.
+``experiments [figNN ...] [--paper] [--list] [--jobs N] [--seed S]``
+    Run all registered experiments (or the named ones) and print the
+    paper-style tables.  Delegates to ``repro.experiments.runall``.
 ``simulate``
     Run the packet-level simulator against the analytic model on a
     two-VNF chain and print the agreement.
@@ -44,15 +44,17 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments import runall
 
+    argv: List[str] = []
+    if args.list:
+        argv.append("--list")
+    if args.paper:
+        argv.append("--paper")
+    if args.seed is not None:
+        argv.extend(["--seed", str(args.seed)])
+    argv.extend(["--jobs", str(args.jobs)])
     if args.figures:
-        import importlib
-
-        for name in args.figures:
-            module = importlib.import_module(f"repro.experiments.{name}")
-            module.run().print()
-            print()
-        return 0
-    return runall.main(["--paper"] if args.paper else [])
+        argv.extend(["--only", *args.figures])
+    return runall.main(argv)
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -102,11 +104,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     experiments.add_argument(
         "figures",
         nargs="*",
-        help="experiment names (fig05..fig16, tail, headline); "
-        "default: all",
+        help="experiment names (see --list); default: all",
     )
     experiments.add_argument("--paper", action="store_true",
                              help="paper-scale repetitions")
+    experiments.add_argument("--list", action="store_true",
+                             help="list registered experiments and exit")
+    experiments.add_argument("--jobs", type=int, default=0,
+                             help="worker processes (0 = auto, 1 = serial)")
+    experiments.add_argument("--seed", type=int, default=None,
+                             help="master seed for a reproducible run")
     experiments.set_defaults(func=_cmd_experiments)
 
     simulate = sub.add_parser("simulate", help="simulator vs analytics")

@@ -64,3 +64,11 @@ class SimulationError(ReproError):
 
 class ConfigurationError(ReproError):
     """An experiment or workload configuration is inconsistent."""
+
+
+class UnknownExperimentError(ConfigurationError):
+    """An experiment name does not exist in the experiment registry.
+
+    Raised by :func:`repro.experiments.registry.get` (and therefore by
+    ``runall --only``) with a message listing the valid names.
+    """

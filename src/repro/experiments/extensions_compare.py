@@ -15,6 +15,8 @@ import numpy as np
 
 from repro.core.local_search import refine_placement
 from repro.experiments.harness import ExperimentResult
+from repro.experiments.montecarlo import run_trials
+from repro.experiments.registry import ExperimentSpec, register
 from repro.nfv.state import DeploymentState
 from repro.placement.base import PlacementProblem
 from repro.placement.best_of import BestOfKPlacement
@@ -37,50 +39,76 @@ def _cross_hop_fraction(state: DeploymentState) -> float:
     return crossing / total if total else 0.0
 
 
-def run(repetitions: int = 10, seed: int = 20170622) -> ExperimentResult:
+#: The compared variants, in report order.
+VARIANTS = ("BFDSU", "ChainAffinity", "BestOf5", "BFDSU+LocalSearch")
+
+
+def _bfdsu_factory(run_index, rng):
+    """Module-level BestOfK factory (picklable for parallel trials)."""
+    return BFDSUPlacement(rng=rng)
+
+
+def _trial(task) -> Dict[str, tuple]:
+    """One repetition: every variant on one shared workload."""
+    seed, rep = task
+    # Independent child streams per consumer, deterministic in
+    # (seed, rep) — parallel trials never share generator state.
+    root = np.random.SeedSequence([seed, rep])
+    gen_ss, bfdsu_ss, affinity_ss, best_ss = root.spawn(4)
+    gen = WorkloadGenerator(np.random.default_rng(gen_ss))
+    w = gen.workload(num_vnfs=12, num_nodes=10, num_requests=60)
+    problem = PlacementProblem(
+        vnfs=w.vnfs, capacities=w.capacities, chains=w.chains
+    )
+    schedule = schedule_all_vnfs(w.vnfs, w.requests, RCKKScheduler())
+    metrics: Dict[str, tuple] = {}
+
+    def evaluate(name: str, placement_map) -> None:
+        state = DeploymentState(
+            vnfs=w.vnfs,
+            requests=w.requests,
+            node_capacities=w.capacities,
+            placement=dict(placement_map),
+            schedule=schedule,
+        )
+        if name == "BFDSU+LocalSearch":
+            refine_placement(state)
+        metrics[name] = (
+            state.average_node_utilization(),
+            state.total_nodes_in_service(),
+            _cross_hop_fraction(state),
+        )
+
+    base = BFDSUPlacement(rng=np.random.default_rng(bfdsu_ss)).place(problem)
+    evaluate("BFDSU", base.placement)
+    evaluate("BFDSU+LocalSearch", base.placement)
+    affinity = ChainAffinityBFDSU(
+        rng=np.random.default_rng(affinity_ss), affinity_boost=8.0
+    ).place(problem)
+    evaluate("ChainAffinity", affinity.placement)
+    best = BestOfKPlacement(
+        _bfdsu_factory, k=5, rng=np.random.default_rng(best_ss)
+    ).place(problem)
+    evaluate("BestOf5", best.placement)
+    return metrics
+
+
+def run(
+    repetitions: int = 10, seed: int = 20170622, jobs: int = 1
+) -> ExperimentResult:
     """Compare the placement variants on shared workloads."""
-    variants = ("BFDSU", "ChainAffinity", "BestOf5", "BFDSU+LocalSearch")
+    variants = VARIANTS
     acc: Dict[str, Dict[str, List[float]]] = {
         v: {"util": [], "nodes": [], "cross": []} for v in variants
     }
-
-    for rep in range(repetitions):
-        gen = WorkloadGenerator(
-            np.random.default_rng(np.random.SeedSequence([seed, rep]))
-        )
-        w = gen.workload(num_vnfs=12, num_nodes=10, num_requests=60)
-        problem = PlacementProblem(
-            vnfs=w.vnfs, capacities=w.capacities, chains=w.chains
-        )
-        schedule = schedule_all_vnfs(w.vnfs, w.requests, RCKKScheduler())
-
-        def evaluate(name: str, placement_map) -> None:
-            state = DeploymentState(
-                vnfs=w.vnfs,
-                requests=w.requests,
-                node_capacities=w.capacities,
-                placement=dict(placement_map),
-                schedule=schedule,
-            )
-            if name == "BFDSU+LocalSearch":
-                refine_placement(state)
-            acc[name]["util"].append(state.average_node_utilization())
-            acc[name]["nodes"].append(state.total_nodes_in_service())
-            acc[name]["cross"].append(_cross_hop_fraction(state))
-
-        base = BFDSUPlacement(rng=np.random.default_rng(rep)).place(problem)
-        evaluate("BFDSU", base.placement)
-        evaluate("BFDSU+LocalSearch", base.placement)
-        affinity = ChainAffinityBFDSU(
-            rng=np.random.default_rng(rep), affinity_boost=8.0
-        ).place(problem)
-        evaluate("ChainAffinity", affinity.placement)
-        best = BestOfKPlacement(
-            lambda run, rng: BFDSUPlacement(rng=rng),
-            k=5,
-            rng=np.random.default_rng(rep),
-        ).place(problem)
-        evaluate("BestOf5", best.placement)
+    trials = run_trials(
+        _trial, [(seed, rep) for rep in range(repetitions)], jobs=jobs
+    )
+    for metrics in trials:
+        for name, (util, nodes, cross) in metrics.items():
+            acc[name]["util"].append(util)
+            acc[name]["nodes"].append(nodes)
+            acc[name]["cross"].append(cross)
 
     result = ExperimentResult(
         experiment_id="extensions",
@@ -99,6 +127,19 @@ def run(repetitions: int = 10, seed: int = 20170622) -> ExperimentResult:
         "lower is better"
     )
     return result
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="extensions_compare",
+        title="Beyond-paper placement variants on shared workloads",
+        runner=run,
+        profile="joint",
+        tags=("placement", "beyond-paper"),
+        default_repetitions=10,
+        order=20,
+    )
+)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -8,6 +8,7 @@ requests scale 30-1000, at about 91.76% (BFDSU), 68.63% (FFD) and
 from __future__ import annotations
 
 from repro.experiments.harness import ExperimentResult
+from repro.experiments.registry import ExperimentSpec, register
 from repro.experiments.sweeps import DEFAULT_PLACEMENT_REPS, placement_sweep
 from repro.workload.scenarios import PlacementScenario
 
@@ -16,7 +17,9 @@ REQUEST_COUNTS = (30, 100, 300, 600, 1000)
 
 
 def run(
-    repetitions: int = DEFAULT_PLACEMENT_REPS, seed: int = 20170605
+    repetitions: int = DEFAULT_PLACEMENT_REPS,
+    seed: int = 20170605,
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Regenerate Fig. 5's series."""
     scenarios = [
@@ -28,7 +31,9 @@ def run(
         )
         for n in REQUEST_COUNTS
     ]
-    rows = placement_sweep(scenarios, repetitions=repetitions, seed=seed)
+    rows = placement_sweep(
+        scenarios, repetitions=repetitions, seed=seed, jobs=jobs
+    )
     result = ExperimentResult(
         experiment_id="fig05",
         title="Average resource utilization of 10 nodes vs #requests",
@@ -45,6 +50,19 @@ def run(
         "~0.669 (NAH); expect the same ordering and flatness"
     )
     return result
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="fig05",
+        title="Average resource utilization of 10 nodes vs #requests",
+        runner=run,
+        profile="placement",
+        tags=("placement", "figure"),
+        default_repetitions=DEFAULT_PLACEMENT_REPS,
+        order=5,
+    )
+)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -7,6 +7,7 @@ served; BFDSU beats FFD by 31.61% and NAH by 33.41% on average.
 from __future__ import annotations
 
 from repro.experiments.harness import ExperimentResult
+from repro.experiments.registry import ExperimentSpec, register
 from repro.experiments.sweeps import DEFAULT_PLACEMENT_REPS, placement_sweep
 from repro.workload.scenarios import PlacementScenario
 
@@ -15,7 +16,9 @@ SWEEP = ((6, 4), (12, 8), (18, 12), (24, 16), (30, 20))
 
 
 def run(
-    repetitions: int = DEFAULT_PLACEMENT_REPS, seed: int = 20170606
+    repetitions: int = DEFAULT_PLACEMENT_REPS,
+    seed: int = 20170606,
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Regenerate Fig. 6's series."""
     scenarios = [
@@ -30,7 +33,9 @@ def run(
         )
         for num_vnfs, num_nodes in SWEEP
     ]
-    rows = placement_sweep(scenarios, repetitions=repetitions, seed=seed)
+    rows = placement_sweep(
+        scenarios, repetitions=repetitions, seed=seed, jobs=jobs
+    )
     result = ExperimentResult(
         experiment_id="fig06",
         title="Average utilization of used nodes vs #VNFs (1000 requests)",
@@ -46,6 +51,19 @@ def run(
         "paper: BFDSU +31.61% vs FFD and +33.41% vs NAH on average"
     )
     return result
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="fig06",
+        title="Average utilization of used nodes vs #VNFs (1000 requests)",
+        runner=run,
+        profile="placement",
+        tags=("placement", "figure"),
+        default_repetitions=DEFAULT_PLACEMENT_REPS,
+        order=6,
+    )
+)
 
 
 if __name__ == "__main__":  # pragma: no cover

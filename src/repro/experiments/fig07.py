@@ -9,6 +9,7 @@ spreading behaviour of the baselines.
 from __future__ import annotations
 
 from repro.experiments.harness import ExperimentResult
+from repro.experiments.registry import ExperimentSpec, register
 from repro.experiments.sweeps import DEFAULT_PLACEMENT_REPS, placement_sweep
 from repro.workload.scenarios import PlacementScenario
 
@@ -34,11 +35,15 @@ def _scenario(num_nodes: int, seed: int) -> PlacementScenario:
 
 
 def run(
-    repetitions: int = DEFAULT_PLACEMENT_REPS, seed: int = 20170607
+    repetitions: int = DEFAULT_PLACEMENT_REPS,
+    seed: int = 20170607,
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Regenerate Fig. 7's series."""
     scenarios = [(n, _scenario(n, seed)) for n in NODE_COUNTS]
-    rows = placement_sweep(scenarios, repetitions=repetitions, seed=seed)
+    rows = placement_sweep(
+        scenarios, repetitions=repetitions, seed=seed, jobs=jobs
+    )
     result = ExperimentResult(
         experiment_id="fig07",
         title="Average utilization of used nodes vs #nodes available (15 VNFs)",
@@ -54,6 +59,19 @@ def run(
         "paper: FFD and NAH decay with pool size; BFDSU stays stable"
     )
     return result
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="fig07",
+        title="Average utilization of used nodes vs #nodes available",
+        runner=run,
+        profile="placement",
+        tags=("placement", "figure"),
+        default_repetitions=DEFAULT_PLACEMENT_REPS,
+        order=7,
+    )
+)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -9,16 +9,21 @@ from __future__ import annotations
 import numpy as np
 
 from repro.experiments.harness import ExperimentResult
+from repro.experiments.registry import ExperimentSpec, register
 from repro.experiments.sweeps import DEFAULT_PLACEMENT_REPS, placement_sweep
 from repro.experiments.fig07 import NODE_COUNTS, _scenario
 
 
 def run(
-    repetitions: int = DEFAULT_PLACEMENT_REPS, seed: int = 20170608
+    repetitions: int = DEFAULT_PLACEMENT_REPS,
+    seed: int = 20170608,
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Regenerate Fig. 8's series."""
     scenarios = [(n, _scenario(n, seed)) for n in NODE_COUNTS]
-    rows = placement_sweep(scenarios, repetitions=repetitions, seed=seed)
+    rows = placement_sweep(
+        scenarios, repetitions=repetitions, seed=seed, jobs=jobs
+    )
     result = ExperimentResult(
         experiment_id="fig08",
         title="Average #nodes in service vs #nodes available (15 VNFs)",
@@ -41,6 +46,19 @@ def run(
             )
     result.notes.append("paper: BFDSU 8.56 < NAH 10.55 < FFD 10.80")
     return result
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="fig08",
+        title="Average #nodes in service vs #nodes available (15 VNFs)",
+        runner=run,
+        profile="placement",
+        tags=("placement", "figure"),
+        default_repetitions=DEFAULT_PLACEMENT_REPS,
+        order=8,
+    )
+)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -7,16 +7,21 @@ nodes in service) stays stably low; FFD and NAH grow with the pool.
 from __future__ import annotations
 
 from repro.experiments.harness import ExperimentResult
+from repro.experiments.registry import ExperimentSpec, register
 from repro.experiments.sweeps import DEFAULT_PLACEMENT_REPS, placement_sweep
 from repro.experiments.fig07 import NODE_COUNTS, _scenario
 
 
 def run(
-    repetitions: int = DEFAULT_PLACEMENT_REPS, seed: int = 20170609
+    repetitions: int = DEFAULT_PLACEMENT_REPS,
+    seed: int = 20170609,
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Regenerate Fig. 9's series."""
     scenarios = [(n, _scenario(n, seed)) for n in NODE_COUNTS]
-    rows = placement_sweep(scenarios, repetitions=repetitions, seed=seed)
+    rows = placement_sweep(
+        scenarios, repetitions=repetitions, seed=seed, jobs=jobs
+    )
     result = ExperimentResult(
         experiment_id="fig09",
         title="Average resource occupation vs #nodes available (15 VNFs)",
@@ -32,6 +37,19 @@ def run(
         "paper: BFDSU stably low; FFD and NAH grow with the node pool"
     )
     return result
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="fig09",
+        title="Average resource occupation vs #nodes available (15 VNFs)",
+        runner=run,
+        profile="placement",
+        tags=("placement", "figure"),
+        default_repetitions=DEFAULT_PLACEMENT_REPS,
+        order=9,
+    )
+)
 
 
 if __name__ == "__main__":  # pragma: no cover

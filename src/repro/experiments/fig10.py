@@ -9,13 +9,16 @@ semantics.
 from __future__ import annotations
 
 from repro.experiments.harness import ExperimentResult
+from repro.experiments.registry import ExperimentSpec, register
 from repro.experiments.sweeps import DEFAULT_PLACEMENT_REPS, placement_sweep
 from repro.workload.scenarios import PlacementScenario
 from repro.experiments.fig05 import REQUEST_COUNTS
 
 
 def run(
-    repetitions: int = DEFAULT_PLACEMENT_REPS, seed: int = 20170610
+    repetitions: int = DEFAULT_PLACEMENT_REPS,
+    seed: int = 20170610,
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Regenerate Fig. 10's series."""
     scenarios = [
@@ -27,7 +30,9 @@ def run(
         )
         for n in REQUEST_COUNTS
     ]
-    rows = placement_sweep(scenarios, repetitions=repetitions, seed=seed)
+    rows = placement_sweep(
+        scenarios, repetitions=repetitions, seed=seed, jobs=jobs
+    )
     result = ExperimentResult(
         experiment_id="fig10",
         title="Algorithm iterations for a feasible solution vs #requests",
@@ -43,6 +48,19 @@ def run(
         "paper: flat in requests; FFD 1 << BFDSU ~11 < NAH ~32"
     )
     return result
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="fig10",
+        title="Algorithm iterations for a feasible solution vs #requests",
+        runner=run,
+        profile="placement",
+        tags=("placement", "figure"),
+        default_repetitions=DEFAULT_PLACEMENT_REPS,
+        order=10,
+    )
+)
 
 
 if __name__ == "__main__":  # pragma: no cover

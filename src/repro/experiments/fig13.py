@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Tuple
 
 from repro.experiments.harness import ExperimentResult
+from repro.experiments.registry import ExperimentSpec, register
 from repro.experiments.sweeps import (
     DEFAULT_SCHEDULING_REPS,
     enhancement_column,
@@ -29,6 +30,7 @@ def run(
     seed: int = 20170613,
     delivery_probability: float = 0.98,
     experiment_id: str = "fig13",
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Regenerate Fig. 13's series (or Fig. 14's via the P parameter)."""
     scenarios = [
@@ -44,7 +46,7 @@ def run(
         )
         for m in INSTANCE_COUNTS
     ]
-    rows = scheduling_sweep(scenarios, repetitions=repetitions)
+    rows = scheduling_sweep(scenarios, repetitions=repetitions, jobs=jobs)
     enhancement = enhancement_column(rows, "mean_w")
     result = ExperimentResult(
         experiment_id=experiment_id,
@@ -70,6 +72,19 @@ def run(
         "grow"
     )
     return result
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="fig13",
+        title="Average response time vs #instances (P=0.98, 50 requests)",
+        runner=run,
+        profile="scheduling",
+        tags=("scheduling", "figure"),
+        default_repetitions=DEFAULT_SCHEDULING_REPS,
+        order=13,
+    )
+)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -8,11 +8,14 @@ from __future__ import annotations
 
 from repro.experiments.fig13 import run as _run_fig13
 from repro.experiments.harness import ExperimentResult
+from repro.experiments.registry import ExperimentSpec, register
 from repro.experiments.sweeps import DEFAULT_SCHEDULING_REPS
 
 
 def run(
-    repetitions: int = DEFAULT_SCHEDULING_REPS, seed: int = 20170614
+    repetitions: int = DEFAULT_SCHEDULING_REPS,
+    seed: int = 20170614,
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Regenerate Fig. 14's series."""
     result = _run_fig13(
@@ -20,6 +23,7 @@ def run(
         seed=seed,
         delivery_probability=1.0,
         experiment_id="fig14",
+        jobs=jobs,
     )
     result.notes.clear()
     result.notes.append(
@@ -27,6 +31,19 @@ def run(
         "P=0.98 curve of fig13"
     )
     return result
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="fig14",
+        title="Average response time vs #instances (P=1.00, 50 requests)",
+        runner=run,
+        profile="scheduling",
+        tags=("scheduling", "figure"),
+        default_repetitions=DEFAULT_SCHEDULING_REPS,
+        order=14,
+    )
+)
 
 
 if __name__ == "__main__":  # pragma: no cover

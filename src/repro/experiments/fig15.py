@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Tuple
 
 from repro.experiments.harness import ExperimentResult
+from repro.experiments.registry import ExperimentSpec, register
 from repro.experiments.sweeps import (
     DEFAULT_SCHEDULING_REPS,
     scheduling_sweep,
@@ -30,6 +31,7 @@ def run(
     seed: int = 20170615,
     delivery_probability: float = 0.997,
     experiment_id: str = "fig15",
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Regenerate Fig. 15's series (or Fig. 16's via the P parameter)."""
     scenarios = [
@@ -45,7 +47,7 @@ def run(
         )
         for n in REQUEST_COUNTS
     ]
-    rows = scheduling_sweep(scenarios, repetitions=repetitions)
+    rows = scheduling_sweep(scenarios, repetitions=repetitions, jobs=jobs)
     result = ExperimentResult(
         experiment_id=experiment_id,
         title=(
@@ -69,6 +71,19 @@ def run(
         "shrinks as requests grow — orderings preserved, trend reversed"
     )
     return result
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="fig15",
+        title="Average job rejection rate vs #requests (P=0.997)",
+        runner=run,
+        profile="scheduling",
+        tags=("scheduling", "figure"),
+        default_repetitions=DEFAULT_SCHEDULING_REPS,
+        order=15,
+    )
+)
 
 
 if __name__ == "__main__":  # pragma: no cover

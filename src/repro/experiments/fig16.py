@@ -10,11 +10,14 @@ from __future__ import annotations
 
 from repro.experiments.fig15 import run as _run_fig15
 from repro.experiments.harness import ExperimentResult
+from repro.experiments.registry import ExperimentSpec, register
 from repro.experiments.sweeps import DEFAULT_SCHEDULING_REPS
 
 
 def run(
-    repetitions: int = DEFAULT_SCHEDULING_REPS, seed: int = 20170616
+    repetitions: int = DEFAULT_SCHEDULING_REPS,
+    seed: int = 20170616,
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Regenerate Fig. 16's series."""
     result = _run_fig15(
@@ -22,6 +25,7 @@ def run(
         seed=seed,
         delivery_probability=0.984,
         experiment_id="fig16",
+        jobs=jobs,
     )
     result.notes.clear()
     result.notes.append(
@@ -31,6 +35,19 @@ def run(
         "balances better than the paper's reported CGA)"
     )
     return result
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="fig16",
+        title="Average job rejection rate vs #requests (P=0.984)",
+        runner=run,
+        profile="scheduling",
+        tags=("scheduling", "figure"),
+        default_repetitions=DEFAULT_SCHEDULING_REPS,
+        order=16,
+    )
+)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -16,13 +16,27 @@ Number = Union[int, float]
 
 @dataclass
 class ExperimentResult:
-    """A completed experiment: metadata + a rectangular result table."""
+    """A completed experiment: metadata + a rectangular result table.
+
+    ``meta`` carries run provenance stamped by the experiment engine
+    (:meth:`repro.experiments.registry.ExperimentSpec.run`): experiment
+    name, effective ``repetitions``, ``seed``, ``jobs`` and
+    ``wall_time_s``.  :meth:`render` surfaces only the deterministic
+    subset (repetitions, seed) so rendered reports stay byte-identical
+    across worker counts and machines; the full metadata — including
+    wall time and jobs — travels through :meth:`to_dict`.
+    """
 
     experiment_id: str
     title: str
     columns: List[str]
     rows: List[Dict[str, object]] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    #: ``meta`` keys that are identical for identical configurations and
+    #: therefore safe to render (unlike wall time or worker count).
+    DETERMINISTIC_META_KEYS = ("repetitions", "seed")
 
     def add_row(self, **values: object) -> None:
         """Append one row; keys must match ``columns``."""
@@ -80,11 +94,18 @@ class ExperimentResult:
         return "\n".join(lines)
 
     def render(self) -> str:
-        """Full report: title, table and notes."""
+        """Full report: title, table, notes and deterministic run info."""
         parts = [f"== {self.experiment_id}: {self.title} ==", self.to_table()]
         if self.notes:
             parts.append("")
             parts.extend(f"note: {n}" for n in self.notes)
+        run_info = [
+            f"{key}={self.meta[key]}"
+            for key in self.DETERMINISTIC_META_KEYS
+            if self.meta.get(key) is not None
+        ]
+        if run_info:
+            parts.append(f"run: {' '.join(run_info)}")
         return "\n".join(parts)
 
     def print(self) -> None:  # pragma: no cover - console convenience
@@ -102,6 +123,7 @@ class ExperimentResult:
             "columns": list(self.columns),
             "rows": [dict(row) for row in self.rows],
             "notes": list(self.notes),
+            "meta": dict(self.meta),
         }
 
     @classmethod
@@ -112,6 +134,7 @@ class ExperimentResult:
             title=str(data["title"]),
             columns=list(data["columns"]),  # type: ignore[arg-type]
             notes=list(data.get("notes", [])),  # type: ignore[arg-type]
+            meta=dict(data.get("meta", {})),  # type: ignore[arg-type]
         )
         for row in data["rows"]:  # type: ignore[union-attr]
             result.add_row(**row)  # type: ignore[arg-type]

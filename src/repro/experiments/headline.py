@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.experiments import fig05, fig06, fig11, fig12, fig13, fig14
 from repro.experiments.harness import ExperimentResult
+from repro.experiments.registry import ExperimentSpec, register
 from repro.experiments.sweeps import (
     DEFAULT_PLACEMENT_REPS,
     DEFAULT_SCHEDULING_REPS,
@@ -45,21 +46,32 @@ def run(
     placement_repetitions: int = DEFAULT_PLACEMENT_REPS,
     scheduling_repetitions: int = DEFAULT_SCHEDULING_REPS,
     seed: int = 20170618,
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Recompute the abstract's aggregate claims."""
     util_results = [
-        fig05.run(repetitions=placement_repetitions, seed=seed),
-        fig06.run(repetitions=placement_repetitions, seed=seed + 1),
+        fig05.run(repetitions=placement_repetitions, seed=seed, jobs=jobs),
+        fig06.run(
+            repetitions=placement_repetitions, seed=seed + 1, jobs=jobs
+        ),
     ]
     bfdsu = float(np.mean([_mean_utilization(r, "BFDSU") for r in util_results]))
     ffd = float(np.mean([_mean_utilization(r, "FFD") for r in util_results]))
     nah = float(np.mean([_mean_utilization(r, "NAH") for r in util_results]))
 
     latency_results = [
-        fig11.run(repetitions=scheduling_repetitions, seed=seed + 2),
-        fig12.run(repetitions=scheduling_repetitions, seed=seed + 3),
-        fig13.run(repetitions=scheduling_repetitions, seed=seed + 4),
-        fig14.run(repetitions=scheduling_repetitions, seed=seed + 5),
+        fig11.run(
+            repetitions=scheduling_repetitions, seed=seed + 2, jobs=jobs
+        ),
+        fig12.run(
+            repetitions=scheduling_repetitions, seed=seed + 3, jobs=jobs
+        ),
+        fig13.run(
+            repetitions=scheduling_repetitions, seed=seed + 4, jobs=jobs
+        ),
+        fig14.run(
+            repetitions=scheduling_repetitions, seed=seed + 5, jobs=jobs
+        ),
     ]
     latency_gain = float(
         np.mean([_mean_enhancement(r) for r in latency_results])
@@ -91,6 +103,18 @@ def run(
         paper="0.199",
     )
     return result
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="headline",
+        title="Abstract headline claims (aggregates over the sweeps)",
+        runner=run,
+        profile="headline",
+        tags=("placement", "scheduling", "headline"),
+        order=99,
+    )
+)
 
 
 if __name__ == "__main__":  # pragma: no cover

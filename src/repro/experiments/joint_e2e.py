@@ -23,6 +23,8 @@ import numpy as np
 
 from repro.core.joint import JointOptimizer
 from repro.experiments.harness import ExperimentResult
+from repro.experiments.montecarlo import run_trials
+from repro.experiments.registry import ExperimentSpec, register
 from repro.placement.bfdsu import BFDSUPlacement
 from repro.placement.ffd import FFDPlacement
 from repro.placement.nah import NAHPlacement
@@ -68,32 +70,46 @@ def _pipelines(seed: int) -> List[Tuple[str, JointOptimizer]]:
     ]
 
 
-def run(repetitions: int = 10, seed: int = 20170620) -> ExperimentResult:
+def _trial(task: Tuple[int, int]) -> dict:
+    """One Monte-Carlo repetition: all three pipelines, one workload."""
+    seed, rep = task
+    gen = WorkloadGenerator(
+        np.random.default_rng(np.random.SeedSequence([seed, rep]))
+    )
+    w = gen.workload(
+        num_vnfs=NUM_VNFS,
+        num_nodes=NUM_NODES,
+        num_requests=NUM_REQUESTS,
+        delivery_probability=0.99,
+    )
+    metrics = {}
+    for name, optimizer in _pipelines(seed + rep):
+        solution = optimizer.optimize(w.vnfs, w.requests, w.capacities)
+        report = solution.evaluate()
+        metrics[name] = (
+            report.average_node_utilization,
+            report.nodes_in_service,
+            report.average_total_latency,
+        )
+    return metrics
+
+
+def run(
+    repetitions: int = 10, seed: int = 20170620, jobs: int = 1
+) -> ExperimentResult:
     """Run the three pipelines over shared Monte-Carlo workloads."""
     accumulators = {
         name: {"util": [], "nodes": [], "latency": []}
         for name, _ in _pipelines(seed)
     }
-    for rep in range(repetitions):
-        gen = WorkloadGenerator(
-            np.random.default_rng(np.random.SeedSequence([seed, rep]))
-        )
-        w = gen.workload(
-            num_vnfs=NUM_VNFS,
-            num_nodes=NUM_NODES,
-            num_requests=NUM_REQUESTS,
-            delivery_probability=0.99,
-        )
-        for name, optimizer in _pipelines(seed + rep):
-            solution = optimizer.optimize(w.vnfs, w.requests, w.capacities)
-            report = solution.evaluate()
-            accumulators[name]["util"].append(
-                report.average_node_utilization
-            )
-            accumulators[name]["nodes"].append(report.nodes_in_service)
-            accumulators[name]["latency"].append(
-                report.average_total_latency
-            )
+    trials = run_trials(
+        _trial, [(seed, rep) for rep in range(repetitions)], jobs=jobs
+    )
+    for metrics in trials:
+        for name, (util, nodes, latency) in metrics.items():
+            accumulators[name]["util"].append(util)
+            accumulators[name]["nodes"].append(nodes)
+            accumulators[name]["latency"].append(latency)
 
     result = ExperimentResult(
         experiment_id="joint_e2e",
@@ -112,6 +128,19 @@ def run(repetitions: int = 10, seed: int = 20170620) -> ExperimentResult:
         "and reduces average total latency by 19.9% vs the state of the art"
     )
     return result
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="joint_e2e",
+        title="Joint pipelines on shared workloads (Eq. 16 total latency)",
+        runner=run,
+        profile="joint",
+        tags=("placement", "scheduling", "beyond-paper"),
+        default_repetitions=10,
+        order=18,
+    )
+)
 
 
 if __name__ == "__main__":  # pragma: no cover

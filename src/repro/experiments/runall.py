@@ -1,58 +1,60 @@
-"""Run every experiment and print the paper-style report.
+"""Run the registered experiments and print the paper-style report.
 
 Usage::
 
-    python -m repro.experiments.runall            # quick defaults
-    python -m repro.experiments.runall --paper    # paper-scale repetitions
+    python -m repro.experiments.runall                  # quick defaults
+    python -m repro.experiments.runall --paper          # paper-scale reps
+    python -m repro.experiments.runall --list           # what exists
+    python -m repro.experiments.runall --only fig05 tail
+    python -m repro.experiments.runall --seed 42 --jobs 4
+
+The experiment set comes from the registry
+(:mod:`repro.experiments.registry`): any module in this package that
+registers an :class:`ExperimentSpec` shows up here — there is no
+dispatch table to edit.  With ``--seed`` the whole run is deterministic
+at any ``--jobs`` level: each experiment's seed derives from the master
+seed and the experiment name, and each Monte-Carlo trial's stream
+derives from that seed and the trial's coordinates (see
+``docs/EXPERIMENTS_ENGINE.md``).  Tables go to stdout; wall-clock
+timings go to stderr so stdout stays byte-identical across ``--jobs``
+levels.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List
+from typing import Dict, List, Optional, Sequence
 
-from repro.experiments import (
-    extensions_compare,
-    fig05,
-    fig06,
-    fig07,
-    fig08,
-    fig09,
-    fig10,
-    fig11,
-    fig12,
-    fig13,
-    fig14,
-    fig15,
-    fig16,
-    headline,
-    joint_e2e,
-    sensitivity,
-    tail,
-)
+from repro.exceptions import ConfigurationError, UnknownExperimentError
 from repro.experiments.harness import ExperimentResult
+from repro.experiments.montecarlo import resolve_jobs
+from repro.experiments.registry import ExperimentSpec, get, load_all
+from repro.seeding import derive_seed
 
-#: All experiment modules in figure order (joint_e2e, sensitivity and
-#: extensions_compare are this repo's beyond-the-paper additions).
-ALL_MODULES = (
-    fig05,
-    fig06,
-    fig07,
-    fig08,
-    fig09,
-    fig10,
-    fig11,
-    fig12,
-    fig13,
-    fig14,
-    fig15,
-    fig16,
-    tail,
-    joint_e2e,
-    sensitivity,
-    extensions_compare,
-)
+
+def _profile_kwargs(
+    spec: ExperimentSpec,
+    placement_repetitions: int,
+    scheduling_repetitions: int,
+    tail_repetitions: int,
+) -> Dict[str, object]:
+    """Map a spec's repetition profile onto ``run_all``'s knobs."""
+    if spec.profile == "placement":
+        return {"repetitions": placement_repetitions}
+    if spec.profile == "scheduling":
+        return {"repetitions": scheduling_repetitions}
+    if spec.profile == "tail":
+        return {"repetitions": tail_repetitions}
+    if spec.profile == "joint":
+        # Full-pipeline runs are heavier per repetition; scale down.
+        return {"repetitions": max(5, placement_repetitions // 2)}
+    if spec.profile == "headline":
+        return {
+            "placement_repetitions": placement_repetitions,
+            "scheduling_repetitions": scheduling_repetitions,
+        }
+    return {}  # analytic: no repetition knob
 
 
 def run_all(
@@ -60,40 +62,69 @@ def run_all(
     scheduling_repetitions: int = 100,
     tail_repetitions: int = 300,
     include_headline: bool = True,
+    only: Optional[Sequence[str]] = None,
+    seed: Optional[int] = None,
+    jobs: int = 1,
 ) -> List[ExperimentResult]:
-    """Execute every experiment, returning the results in figure order."""
+    """Execute registered experiments, returning results in report order.
+
+    ``only`` restricts the run to the named experiments (unknown names
+    raise :class:`UnknownExperimentError` listing the valid ones).  With
+    ``seed``, each experiment receives ``derive_seed(seed, name)`` so a
+    single master seed pins the entire run; without it every module uses
+    its own documented default seed.  ``jobs`` is forwarded to every
+    experiment's Monte-Carlo engine.
+    """
+    specs = load_all()
+    if only is not None:
+        wanted = {get(name).name for name in only}
+        specs = [spec for spec in specs if spec.name in wanted]
+    elif not include_headline:
+        specs = [spec for spec in specs if spec.profile != "headline"]
+
     results: List[ExperimentResult] = []
-    for module in ALL_MODULES:
-        if module is tail:
-            results.append(module.run(repetitions=tail_repetitions))
-        elif module in (joint_e2e, extensions_compare):
-            results.append(module.run(repetitions=max(5, placement_repetitions // 2)))
-        elif module is sensitivity:
-            results.append(module.run())
-        elif module.__name__.rsplit(".", 1)[-1] in (
-            "fig05",
-            "fig06",
-            "fig07",
-            "fig08",
-            "fig09",
-            "fig10",
-        ):
-            results.append(module.run(repetitions=placement_repetitions))
-        else:
-            results.append(module.run(repetitions=scheduling_repetitions))
-    if include_headline:
+    for spec in specs:
+        kwargs = _profile_kwargs(
+            spec,
+            placement_repetitions,
+            scheduling_repetitions,
+            tail_repetitions,
+        )
+        repetitions = kwargs.pop("repetitions", None)
         results.append(
-            headline.run(
-                placement_repetitions=placement_repetitions,
-                scheduling_repetitions=scheduling_repetitions,
+            spec.run(
+                repetitions=repetitions,
+                seed=derive_seed(seed, spec.name) if seed is not None else None,
+                jobs=jobs,
+                **kwargs,
             )
         )
     return results
 
 
+def _print_listing() -> None:
+    """Print one line per registered experiment (for ``--list``)."""
+    specs = load_all()
+    width = max(len(spec.name) for spec in specs)
+    for spec in specs:
+        reps = (
+            str(spec.default_repetitions)
+            if spec.default_repetitions is not None
+            else "-"
+        )
+        tags = ",".join(spec.tags) if spec.tags else "-"
+        print(
+            f"{spec.name:<{width}}  {spec.profile:<10} reps={reps:<4} "
+            f"[{tags}]  {spec.title}"
+        )
+
+
 def main(argv: List[str] = None) -> int:
     """CLI entry point."""
-    parser = argparse.ArgumentParser(description=__doc__)
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
     parser.add_argument(
         "--paper",
         action="store_true",
@@ -104,18 +135,80 @@ def main(argv: List[str] = None) -> int:
         metavar="PATH",
         help="also write all results as a JSON document to PATH",
     )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_experiments",
+        help="list the registered experiments and exit",
+    )
+    parser.add_argument(
+        "--only",
+        nargs="+",
+        metavar="NAME",
+        help="run only the named experiments (see --list)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help=(
+            "master seed; per-experiment seeds derive from it so the "
+            "whole run is reproducible at any --jobs level"
+        ),
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        help=(
+            "worker processes per experiment "
+            "(0 = auto: CPU count, capped at 16; 1 = serial)"
+        ),
+    )
     args = parser.parse_args(argv)
+
+    if args.list_experiments:
+        _print_listing()
+        return 0
+
+    try:
+        jobs = resolve_jobs(args.jobs if args.jobs else None)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    kwargs: Dict[str, object] = {
+        "only": args.only,
+        "seed": args.seed,
+        "jobs": jobs,
+    }
     if args.paper:
-        results = run_all(
+        kwargs.update(
             placement_repetitions=200,
             scheduling_repetitions=1000,
             tail_repetitions=1000,
         )
-    else:
-        results = run_all()
+    try:
+        results = run_all(**kwargs)
+    except UnknownExperimentError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
     for result in results:
         print(result.render())
         print()
+
+    total_wall = 0.0
+    for result in results:
+        wall = result.meta.get("wall_time_s")
+        if wall is None:
+            continue
+        total_wall += float(wall)
+        name = result.meta.get("experiment", result.experiment_id)
+        print(f"[timing] {name}: {float(wall):.2f}s", file=sys.stderr)
+    print(
+        f"[timing] total: {total_wall:.2f}s (jobs={jobs})", file=sys.stderr
+    )
+
     if args.json:
         import json
         from pathlib import Path

@@ -23,6 +23,8 @@ from typing import Tuple
 import numpy as np
 
 from repro.experiments.harness import ExperimentResult
+from repro.experiments.montecarlo import run_trials
+from repro.experiments.registry import ExperimentSpec, register
 from repro.queueing.mg1 import MG1Queue
 from repro.queueing.mm1 import MM1Queue
 from repro.sim.engine import SimulationEngine
@@ -53,52 +55,57 @@ def _service_rows(result: ExperimentResult) -> None:
         )
 
 
-def _burstiness_rows(
-    result: ExperimentResult, horizon: float, seed: int
-) -> None:
+def _ignore_departure(packet, server) -> None:
+    """Module-level no-op departure hook (picklable for parallel runs)."""
+
+
+def _burst_trial(task) -> dict:
+    """Simulate one MMPP/M/1 (or M/M/1) burstiness point."""
+    ratio, horizon, seed = task
     mean_rate = 40.0
     mu = mean_rate / RHO
     analytic = MM1Queue(mean_rate, mu).mean_response_time
-    for ratio in BURST_RATIOS:
-        if ratio == 1.0:
-            from repro.workload.traces import poisson_arrival_times
+    if ratio == 1.0:
+        from repro.workload.traces import poisson_arrival_times
 
-            trace = poisson_arrival_times(
-                mean_rate, horizon, np.random.default_rng(seed)
-            )
-        else:
-            # Solve for high/low rates with the target ratio and the
-            # same mean, spending half the time in each state.
-            high = 2.0 * mean_rate * ratio / (ratio + 1.0)
-            low = high / ratio
-            mmpp = MMPP2(
-                rate_high=high,
-                rate_low=low,
-                switch_to_low=0.5,
-                switch_to_high=0.5,
-            )
-            trace = mmpp.sample_arrival_times(
-                horizon, np.random.default_rng(seed)
-            )
-        engine = SimulationEngine()
-        server = SimServer(
-            engine=engine,
-            service_rate=mu,
-            rng=np.random.default_rng(seed + 1),
-            on_departure=lambda p, s: None,
+        trace = poisson_arrival_times(
+            mean_rate, horizon, np.random.default_rng(seed)
         )
-        TraceSource(engine, "r0", trace, server.enqueue).start()
-        engine.run(until=horizon)
-        measured = server.mean_sojourn()
-        result.add_row(
-            dimension="burst_ratio",
-            value=ratio,
-            latency=measured,
-            model_error=(analytic - measured) / measured,
+    else:
+        # Solve for high/low rates with the target ratio and the
+        # same mean, spending half the time in each state.
+        high = 2.0 * mean_rate * ratio / (ratio + 1.0)
+        low = high / ratio
+        mmpp = MMPP2(
+            rate_high=high,
+            rate_low=low,
+            switch_to_low=0.5,
+            switch_to_high=0.5,
         )
+        trace = mmpp.sample_arrival_times(
+            horizon, np.random.default_rng(seed)
+        )
+    engine = SimulationEngine()
+    server = SimServer(
+        engine=engine,
+        service_rate=mu,
+        rng=np.random.default_rng(seed + 1),
+        on_departure=_ignore_departure,
+    )
+    TraceSource(engine, "r0", trace, server.enqueue).start()
+    engine.run(until=horizon)
+    measured = server.mean_sojourn()
+    return {
+        "dimension": "burst_ratio",
+        "value": ratio,
+        "latency": measured,
+        "model_error": (analytic - measured) / measured,
+    }
 
 
-def run(horizon: float = 1500.0, seed: int = 20170621) -> ExperimentResult:
+def run(
+    horizon: float = 1500.0, seed: int = 20170621, jobs: int = 1
+) -> ExperimentResult:
     """Run both sensitivity sweeps."""
     result = ExperimentResult(
         experiment_id="sensitivity",
@@ -106,7 +113,9 @@ def run(horizon: float = 1500.0, seed: int = 20170621) -> ExperimentResult:
         columns=["dimension", "value", "latency", "model_error"],
     )
     _service_rows(result)
-    _burstiness_rows(result, horizon, seed)
+    tasks = [(ratio, horizon, seed) for ratio in BURST_RATIOS]
+    for row in run_trials(_burst_trial, tasks, jobs=jobs):
+        result.add_row(**row)
     result.notes.append(
         "model_error = (W_assumed - W_actual) / W_actual; positive means "
         "the M/M/1 assumption over-estimates, negative under-estimates"
@@ -116,6 +125,18 @@ def run(horizon: float = 1500.0, seed: int = 20170621) -> ExperimentResult:
         "those rows validate the harness itself"
     )
     return result
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="sensitivity",
+        title="Model sensitivity: service variability and arrival burstiness",
+        runner=run,
+        profile="analytic",
+        tags=("queueing", "beyond-paper"),
+        order=19,
+    )
+)
 
 
 if __name__ == "__main__":  # pragma: no cover

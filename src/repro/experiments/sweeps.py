@@ -1,7 +1,8 @@
 """Reusable sweep drivers for the placement and scheduling experiments.
 
 The twelve figure modules differ only in which axis they sweep and which
-metric column they report; the two drivers here do the Monte-Carlo work:
+metric column they report; the two drivers here describe the Monte-Carlo
+work and hand execution to :mod:`repro.experiments.montecarlo`:
 
 * :func:`placement_sweep` — run each placement algorithm over the
   instances of a :class:`~repro.workload.scenarios.PlacementScenario`
@@ -10,15 +11,30 @@ metric column they report; the two drivers here do the Monte-Carlo work:
   :class:`~repro.workload.scenarios.SchedulingScenario` instances,
   producing the Figs. 11-16 metrics (mean/percentile response time,
   rejection rate, enhancement ratios).
+
+Seeding & parallelism
+---------------------
+Each *(sweep point, repetition)* trial derives its own random stream
+from ``SeedSequence([seed, point_index, repetition])`` — no generator
+is shared across trials, so results are bit-identical at every
+``jobs`` level and independent of completion order.  Trials execute
+through :func:`repro.experiments.montecarlo.run_trials`; the reduction
+(means, percentiles) always consumes samples in repetition order.
+
+Passing explicit ``algorithms`` instances preserves the legacy
+shared-state semantics (one mutable algorithm object across all
+trials): that path runs serially regardless of ``jobs``, as does the
+sequential-stopping ``adaptive_precision`` mode.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.analysis.stats import percentile
+from repro.experiments.montecarlo import run_trials
 from repro.placement.base import PlacementAlgorithm
 from repro.placement.bfdsu import BFDSUPlacement
 from repro.placement.ffd import FFDPlacement
@@ -27,6 +43,7 @@ from repro.scheduling.base import SchedulingAlgorithm
 from repro.scheduling.cga import CGAScheduler
 from repro.scheduling.metrics import schedule_report
 from repro.scheduling.rckk import RCKKScheduler
+from repro.seeding import RngLike, resolve_rng, trial_rng
 from repro.workload.scenarios import PlacementScenario, SchedulingScenario
 
 #: Default Monte-Carlo repetitions.  The paper uses 1000; the default
@@ -36,18 +53,62 @@ DEFAULT_PLACEMENT_REPS = 20
 DEFAULT_SCHEDULING_REPS = 100
 
 
-def default_placement_algorithms(seed: int) -> List[PlacementAlgorithm]:
-    """The paper's three placement contenders, BFDSU seeded."""
+def default_placement_algorithms(seed: RngLike) -> List[PlacementAlgorithm]:
+    """The paper's three placement contenders, BFDSU seeded.
+
+    ``seed`` may be an int, ``SeedSequence`` or ``Generator`` — anything
+    :func:`repro.seeding.resolve_rng` accepts.
+    """
     return [
-        BFDSUPlacement(rng=np.random.default_rng(seed)),
+        BFDSUPlacement(rng=resolve_rng(seed)),
         FFDPlacement(),
         NAHPlacement(),
     ]
 
 
 def default_scheduling_algorithms() -> List[SchedulingAlgorithm]:
-    """The paper's two scheduling contenders."""
+    """The paper's two scheduling contenders (both deterministic)."""
     return [RCKKScheduler(), CGAScheduler()]
+
+
+# ----------------------------------------------------------------------
+# Trial functions — module level so process pools can pickle them.
+# ----------------------------------------------------------------------
+def _placement_trial(
+    task: Tuple[int, int, PlacementScenario, int]
+) -> Dict[str, Tuple[float, float, float, float]]:
+    """One placement trial: build the instance, run all contenders."""
+    point_index, repetition, scenario, seed = task
+    problem = scenario.build(repetition)
+    rng = trial_rng(seed, point_index, repetition)
+    metrics: Dict[str, Tuple[float, float, float, float]] = {}
+    for algorithm in default_placement_algorithms(rng):
+        result = algorithm.place(problem)
+        metrics[algorithm.name] = (
+            float(result.average_utilization),
+            float(result.num_used_nodes),
+            float(result.total_occupied_capacity),
+            float(result.iterations),
+        )
+    return metrics
+
+
+def _scheduling_trial(
+    task: Tuple[int, SchedulingScenario, bool]
+) -> Dict[str, Tuple[float, float]]:
+    """One scheduling trial: build the instance, run both schedulers."""
+    repetition, scenario, apply_admission = task
+    problem = scenario.build(repetition)
+    metrics: Dict[str, Tuple[float, float]] = {}
+    for algorithm in default_scheduling_algorithms():
+        report = schedule_report(
+            algorithm.schedule(problem), apply_admission=apply_admission
+        )
+        metrics[algorithm.name] = (
+            float(report.average_response_time),
+            float(report.rejection_rate),
+        )
+    return metrics
 
 
 def placement_sweep(
@@ -55,6 +116,7 @@ def placement_sweep(
     repetitions: int = DEFAULT_PLACEMENT_REPS,
     seed: int = 0,
     algorithms: Optional[Sequence[PlacementAlgorithm]] = None,
+    jobs: int = 1,
 ) -> List[Dict[str, object]]:
     """Run placement algorithms over scenario sweep points.
 
@@ -65,9 +127,14 @@ def placement_sweep(
     repetitions:
         Monte-Carlo instances per point.
     seed:
-        Seed for the randomized algorithms.
+        Seed for the randomized algorithms; every trial spawns its own
+        child stream from it (see the module docstring).
     algorithms:
-        Contenders; defaults to BFDSU/FFD/NAH.
+        Explicit contender instances (legacy shared-state path; forces
+        serial execution).  Defaults to per-trial BFDSU/FFD/NAH.
+    jobs:
+        Worker processes for the default path; results are identical at
+        every level.
 
     Returns
     -------
@@ -76,35 +143,51 @@ def placement_sweep(
         ``algorithm``, ``utilization``, ``nodes_in_service``,
         ``occupation``, ``iterations``.
     """
-    algos = (
-        list(algorithms)
-        if algorithms is not None
-        else default_placement_algorithms(seed)
-    )
+    scenario_list = list(scenarios)
+    tasks = [
+        (point_index, repetition, scenario, int(seed))
+        for point_index, (_x, scenario) in enumerate(scenario_list)
+        for repetition in range(repetitions)
+    ]
+    if algorithms is None:
+        algo_names = [a.name for a in default_placement_algorithms(0)]
+        trials = run_trials(_placement_trial, tasks, jobs=jobs)
+    else:
+        shared = list(algorithms)
+        algo_names = [a.name for a in shared]
+
+        def shared_trial(task):
+            _point, repetition, scenario, _seed = task
+            problem = scenario.build(repetition)
+            out = {}
+            for algorithm in shared:
+                result = algorithm.place(problem)
+                out[algorithm.name] = (
+                    float(result.average_utilization),
+                    float(result.num_used_nodes),
+                    float(result.total_occupied_capacity),
+                    float(result.iterations),
+                )
+            return out
+
+        trials = run_trials(shared_trial, tasks, jobs=1)
+
     rows: List[Dict[str, object]] = []
-    for x_value, scenario in scenarios:
-        per_algo: Dict[str, Dict[str, List[float]]] = {
-            a.name: {"u": [], "n": [], "o": [], "i": []} for a in algos
-        }
-        for rep in range(repetitions):
-            problem = scenario.build(rep)
-            for algo in algos:
-                result = algo.place(problem)
-                acc = per_algo[algo.name]
-                acc["u"].append(result.average_utilization)
-                acc["n"].append(result.num_used_nodes)
-                acc["o"].append(result.total_occupied_capacity)
-                acc["i"].append(result.iterations)
-        for algo in algos:
-            acc = per_algo[algo.name]
+    for point_index, (x_value, _scenario) in enumerate(scenario_list):
+        point_trials = trials[
+            point_index * repetitions : (point_index + 1) * repetitions
+        ]
+        for name in algo_names:
+            samples = np.array([trial[name] for trial in point_trials])
+            utilization, nodes, occupation, iterations = samples.mean(axis=0)
             rows.append(
                 {
                     "x": x_value,
-                    "algorithm": algo.name,
-                    "utilization": float(np.mean(acc["u"])),
-                    "nodes_in_service": float(np.mean(acc["n"])),
-                    "occupation": float(np.mean(acc["o"])),
-                    "iterations": float(np.mean(acc["i"])),
+                    "algorithm": name,
+                    "utilization": float(utilization),
+                    "nodes_in_service": float(nodes),
+                    "occupation": float(occupation),
+                    "iterations": float(iterations),
                 }
             )
     return rows
@@ -116,6 +199,7 @@ def scheduling_sweep(
     algorithms: Optional[Sequence[SchedulingAlgorithm]] = None,
     apply_admission: bool = True,
     adaptive_precision: Optional[float] = None,
+    jobs: int = 1,
 ) -> List[Dict[str, object]]:
     """Run scheduling algorithms over scenario sweep points.
 
@@ -126,7 +210,10 @@ def scheduling_sweep(
         once every algorithm's running mean ``W`` has converged to that
         relative precision (95% CI), with ``repetitions`` as the hard
         cap — the sequential stopping rule of
-        :class:`repro.analysis.convergence.ConvergenceTracker`.
+        :class:`repro.analysis.convergence.ConvergenceTracker`.  This
+        mode is inherently sequential and ignores ``jobs``.
+    jobs:
+        Worker processes for the fixed-repetitions default path.
 
     Returns
     -------
@@ -135,6 +222,52 @@ def scheduling_sweep(
         ``algorithm``, ``mean_w`` (average response time), ``p99_w``
         (99th percentile over repetitions), ``rejection_rate``.
     """
+    if algorithms is not None or adaptive_precision is not None:
+        return _scheduling_sweep_sequential(
+            scenarios,
+            repetitions=repetitions,
+            algorithms=algorithms,
+            apply_admission=apply_admission,
+            adaptive_precision=adaptive_precision,
+        )
+
+    scenario_list = list(scenarios)
+    tasks = [
+        (repetition, scenario, apply_admission)
+        for _x, scenario in scenario_list
+        for repetition in range(repetitions)
+    ]
+    trials = run_trials(_scheduling_trial, tasks, jobs=jobs)
+    algo_names = [a.name for a in default_scheduling_algorithms()]
+
+    rows: List[Dict[str, object]] = []
+    for point_index, (x_value, _scenario) in enumerate(scenario_list):
+        point_trials = trials[
+            point_index * repetitions : (point_index + 1) * repetitions
+        ]
+        for name in algo_names:
+            w_samples = [trial[name][0] for trial in point_trials]
+            rej_samples = [trial[name][1] for trial in point_trials]
+            rows.append(
+                {
+                    "x": x_value,
+                    "algorithm": name,
+                    "mean_w": float(np.mean(w_samples)),
+                    "p99_w": percentile(w_samples, 99),
+                    "rejection_rate": float(np.mean(rej_samples)),
+                }
+            )
+    return rows
+
+
+def _scheduling_sweep_sequential(
+    scenarios: Sequence[Tuple[object, SchedulingScenario]],
+    repetitions: int,
+    algorithms: Optional[Sequence[SchedulingAlgorithm]],
+    apply_admission: bool,
+    adaptive_precision: Optional[float],
+) -> List[Dict[str, object]]:
+    """Serial path: shared algorithm instances / sequential stopping."""
     algos = (
         list(algorithms)
         if algorithms is not None

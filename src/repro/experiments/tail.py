@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Tuple
 
 from repro.experiments.harness import ExperimentResult
+from repro.experiments.registry import ExperimentSpec, register
 from repro.experiments.sweeps import (
     enhancement_column,
     scheduling_sweep,
@@ -30,7 +31,9 @@ DEFAULT_TAIL_REPS = 300
 
 
 def run(
-    repetitions: int = DEFAULT_TAIL_REPS, seed: int = 20170617
+    repetitions: int = DEFAULT_TAIL_REPS,
+    seed: int = 20170617,
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Regenerate the 99th-percentile comparison."""
     scenarios = [
@@ -46,7 +49,7 @@ def run(
         )
         for n in REQUEST_COUNTS
     ]
-    rows = scheduling_sweep(scenarios, repetitions=repetitions)
+    rows = scheduling_sweep(scenarios, repetitions=repetitions, jobs=jobs)
     enhancement = enhancement_column(rows, "p99_w")
     result = ExperimentResult(
         experiment_id="tail",
@@ -69,6 +72,19 @@ def run(
         "50 requests"
     )
     return result
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="tail",
+        title="99th-percentile response time vs #requests (P=0.98)",
+        runner=run,
+        profile="tail",
+        tags=("scheduling", "tail"),
+        default_repetitions=DEFAULT_TAIL_REPS,
+        order=17,
+    )
+)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -20,6 +20,7 @@ from repro.placement.base import (
     PlacementProblem,
     PlacementResult,
 )
+from repro.seeding import resolve_rng
 
 
 class BestOfKPlacement(PlacementAlgorithm):
@@ -49,7 +50,8 @@ class BestOfKPlacement(PlacementAlgorithm):
             raise ValidationError(f"k must be >= 1, got {k!r}")
         self._factory = factory
         self._k = k
-        self._rng = rng if rng is not None else np.random.default_rng()
+        # ``None`` means the documented default seed, not OS entropy.
+        self._rng = resolve_rng(rng)
 
     def place(self, problem: PlacementProblem) -> PlacementResult:
         best: Optional[PlacementResult] = None

@@ -42,6 +42,7 @@ from repro.placement.base import (
     PlacementResult,
     demand_sorted_vnfs,
 )
+from repro.seeding import RngLike, resolve_rng
 
 #: The additive constant keeping the weight denominator nonzero (paper).
 WEIGHT_OFFSET = 1.0
@@ -77,11 +78,14 @@ class BFDSUPlacement(PlacementAlgorithm):
 
     def __init__(
         self,
-        rng: Optional[np.random.Generator] = None,
+        rng: Optional[RngLike] = None,
         max_restarts: int = 200,
         weight_offset: float = WEIGHT_OFFSET,
     ) -> None:
-        self._rng = rng if rng is not None else np.random.default_rng()
+        # ``None`` means the documented default seed
+        # (repro.seeding.DEFAULT_SEED), never OS entropy: two
+        # default-constructed BFDSUPlacement objects place identically.
+        self._rng = resolve_rng(rng)
         self._max_restarts = max_restarts
         self._weight_offset = weight_offset
 

@@ -31,6 +31,7 @@ from repro.placement.base import (
     demand_sorted_vnfs,
 )
 from repro.placement.bfdsu import WEIGHT_OFFSET
+from repro.seeding import resolve_rng
 
 
 class ChainAffinityBFDSU(PlacementAlgorithm):
@@ -60,7 +61,8 @@ class ChainAffinityBFDSU(PlacementAlgorithm):
             raise ValueError(
                 f"affinity boost must be >= 1, got {affinity_boost!r}"
             )
-        self._rng = rng if rng is not None else np.random.default_rng()
+        # ``None`` means the documented default seed, not OS entropy.
+        self._rng = resolve_rng(rng)
         self._boost = affinity_boost
         self._max_restarts = max_restarts
 

@@ -26,6 +26,7 @@ from repro.exceptions import (
     ValidationError,
 )
 from repro.placement.bfdsu import WEIGHT_OFFSET
+from repro.seeding import RngLike, resolve_rng
 
 
 @dataclass(frozen=True)
@@ -219,10 +220,11 @@ class VectorBFDSU:
 
     def __init__(
         self,
-        rng: Optional[np.random.Generator] = None,
+        rng: Optional[RngLike] = None,
         max_restarts: int = 200,
     ) -> None:
-        self._rng = rng if rng is not None else np.random.default_rng()
+        # ``None`` means the documented default seed, not OS entropy.
+        self._rng = resolve_rng(rng)
         self._max_restarts = max_restarts
 
     def place(self, problem: MultiResourceProblem) -> MultiResourceResult:

@@ -19,6 +19,7 @@ from repro.placement.base import (
     PlacementResult,
     demand_sorted_vnfs,
 )
+from repro.seeding import RngLike, resolve_rng
 
 
 class RandomFitPlacement(PlacementAlgorithm):
@@ -26,8 +27,9 @@ class RandomFitPlacement(PlacementAlgorithm):
 
     name = "RandomFit"
 
-    def __init__(self, rng: Optional[np.random.Generator] = None) -> None:
-        self._rng = rng if rng is not None else np.random.default_rng()
+    def __init__(self, rng: Optional[RngLike] = None) -> None:
+        # ``None`` means the documented default seed, not OS entropy.
+        self._rng = resolve_rng(rng)
 
     def place(self, problem: PlacementProblem) -> PlacementResult:
         problem.check_necessary_feasibility()

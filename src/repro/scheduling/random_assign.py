@@ -11,6 +11,7 @@ from repro.scheduling.base import (
     SchedulingProblem,
     ScheduleResult,
 )
+from repro.seeding import RngLike, resolve_rng
 
 
 class RandomScheduler(SchedulingAlgorithm):
@@ -18,8 +19,9 @@ class RandomScheduler(SchedulingAlgorithm):
 
     name = "Random"
 
-    def __init__(self, rng: Optional[np.random.Generator] = None) -> None:
-        self._rng = rng if rng is not None else np.random.default_rng()
+    def __init__(self, rng: Optional[RngLike] = None) -> None:
+        # ``None`` means the documented default seed, not OS entropy.
+        self._rng = resolve_rng(rng)
 
     def schedule(self, problem: SchedulingProblem) -> ScheduleResult:
         m = problem.num_instances

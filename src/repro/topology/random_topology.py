@@ -16,6 +16,7 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from repro.exceptions import ValidationError
+from repro.seeding import resolve_rng
 from repro.topology.graph import DEFAULT_LINK_LATENCY, DatacenterTopology
 
 
@@ -42,8 +43,8 @@ def random_datacenter(
     link_latency:
         Per-link latency ``L`` component.
     rng:
-        Seeded generator for reproducibility; defaults to a fresh
-        ``numpy.random.default_rng()``.
+        Seeded generator for reproducibility; ``None`` uses the
+        documented default seed (``repro.seeding.DEFAULT_SEED``).
     capacities:
         Explicit per-node capacities (overrides ``capacity_range``).
 
@@ -68,8 +69,7 @@ def random_datacenter(
         raise ValidationError(
             f"{len(capacities)} capacities given for {num_nodes} nodes"
         )
-    if rng is None:
-        rng = np.random.default_rng()
+    rng = resolve_rng(rng)
 
     topo = DatacenterTopology(name=f"random-{num_nodes}")
     for i in range(num_nodes):

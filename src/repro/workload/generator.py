@@ -26,6 +26,7 @@ from repro.exceptions import ConfigurationError
 from repro.nfv.chain import MAX_CHAIN_LENGTH, ServiceChain
 from repro.nfv.request import Request
 from repro.nfv.vnf import VNF
+from repro.seeding import RngLike, resolve_rng
 from repro.workload.catalog import COMMON_SIX, VNF_CATALOG, spec_by_name
 
 
@@ -55,11 +56,12 @@ class WorkloadGenerator:
     Parameters
     ----------
     rng:
-        Seeded generator; a fresh default generator when omitted.
+        Seeded generator; ``None`` uses the documented default seed
+        (``repro.seeding.DEFAULT_SEED``), never OS entropy.
     """
 
-    def __init__(self, rng: Optional[np.random.Generator] = None) -> None:
-        self._rng = rng if rng is not None else np.random.default_rng()
+    def __init__(self, rng: Optional[RngLike] = None) -> None:
+        self._rng = resolve_rng(rng)
 
     # ------------------------------------------------------------------
     # VNFs

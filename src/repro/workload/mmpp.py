@@ -16,6 +16,7 @@ from typing import Optional
 import numpy as np
 
 from repro.exceptions import ValidationError
+from repro.seeding import resolve_rng
 
 
 @dataclass(frozen=True)
@@ -73,8 +74,7 @@ class MMPP2:
         """
         if horizon <= 0.0:
             raise ValidationError(f"horizon must be positive, got {horizon!r}")
-        if rng is None:
-            rng = np.random.default_rng()
+        rng = resolve_rng(rng)
         times = []
         t = 0.0
         # Start from the stationary distribution.

@@ -21,6 +21,7 @@ from typing import Optional
 import numpy as np
 
 from repro.exceptions import ValidationError
+from repro.seeding import resolve_rng
 
 
 def poisson_arrival_times(
@@ -43,8 +44,7 @@ def poisson_arrival_times(
         raise ValidationError(f"rate must be positive, got {rate!r}")
     if horizon <= 0.0:
         raise ValidationError(f"horizon must be positive, got {horizon!r}")
-    if rng is None:
-        rng = np.random.default_rng()
+    rng = resolve_rng(rng)
     # Draw in blocks until the horizon is passed; exponential gaps.
     times = []
     t = 0.0
@@ -77,8 +77,7 @@ def lognormal_interarrival_trace(
         raise ValidationError(f"horizon must be positive, got {horizon!r}")
     if sigma <= 0.0:
         raise ValidationError(f"sigma must be positive, got {sigma!r}")
-    if rng is None:
-        rng = np.random.default_rng()
+    rng = resolve_rng(rng)
     mu = -np.log(mean_rate) - sigma * sigma / 2.0
     times = []
     t = 0.0

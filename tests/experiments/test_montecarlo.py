@@ -1,0 +1,65 @@
+"""Tests for the shared Monte-Carlo execution engine."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.montecarlo import resolve_jobs, run_trials
+from repro.seeding import trial_rng
+
+
+def _square(task):
+    return task * task
+
+
+def _seeded_draw(task):
+    seed, index = task
+    return float(trial_rng(seed, index).uniform())
+
+
+def _explode(task):
+    raise ValueError(f"boom on {task}")
+
+
+class TestResolveJobs:
+    def test_explicit_value_passes_through(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(3) == 3
+
+    def test_auto_is_at_least_one(self):
+        assert resolve_jobs(None) >= 1
+        assert resolve_jobs(0) >= 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_jobs(-2)
+
+
+class TestRunTrials:
+    def test_serial_preserves_task_order(self):
+        assert run_trials(_square, [3, 1, 2], jobs=1) == [9, 1, 4]
+
+    def test_parallel_preserves_task_order(self):
+        tasks = list(range(20))
+        assert run_trials(_square, tasks, jobs=4) == [t * t for t in tasks]
+
+    def test_empty_task_list(self):
+        assert run_trials(_square, [], jobs=4) == []
+
+    def test_results_identical_at_any_jobs_level(self):
+        tasks = [(123, i) for i in range(12)]
+        serial = run_trials(_seeded_draw, tasks, jobs=1)
+        parallel = run_trials(_seeded_draw, tasks, jobs=3)
+        assert serial == parallel
+
+    def test_non_picklable_fn_falls_back_to_serial(self):
+        offset = 10
+        closure = lambda task: task + offset  # noqa: E731
+        assert run_trials(closure, [1, 2, 3], jobs=4) == [11, 12, 13]
+
+    def test_trial_exception_propagates_serial(self):
+        with pytest.raises(ValueError, match="boom"):
+            run_trials(_explode, [1, 2], jobs=1)
+
+    def test_trial_exception_propagates_parallel(self):
+        with pytest.raises(ValueError, match="boom"):
+            run_trials(_explode, [1, 2], jobs=2)

@@ -1,0 +1,170 @@
+"""Tests for the experiment registry, seeding scheme, and runall CLI."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import UnknownExperimentError, ValidationError
+from repro.experiments import fig05, registry, runall
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.registry import ExperimentSpec
+from repro.placement.base import PlacementProblem
+from repro.placement.bfdsu import BFDSUPlacement
+from repro.seeding import DEFAULT_SEED, derive_seed, resolve_rng, trial_rng
+from repro.workload.generator import WorkloadGenerator
+
+
+class TestRegistryCompleteness:
+    def test_every_experiment_module_registers_exactly_once(self):
+        specs = registry.load_all()
+        names = [spec.name for spec in specs]
+        assert len(names) == len(set(names)), "duplicate registrations"
+        assert sorted(names) == registry.experiment_module_names()
+
+    def test_specs_sorted_in_report_order(self):
+        specs = registry.load_all()
+        orders = [(spec.order, spec.name) for spec in specs]
+        assert orders == sorted(orders)
+
+    def test_get_unknown_name_lists_valid_names(self):
+        with pytest.raises(UnknownExperimentError) as exc_info:
+            registry.get("fig99")
+        message = str(exc_info.value)
+        assert "fig99" in message
+        assert "fig05" in message and "headline" in message
+
+    def test_invalid_profile_rejected(self):
+        with pytest.raises(ValidationError):
+            ExperimentSpec(
+                name="x", title="x", runner=lambda: None, profile="nope"
+            )
+
+    def test_duplicate_name_rejected(self):
+        spec = registry.get("fig05")
+        clone = ExperimentSpec(
+            name="fig05", title="clone", runner=lambda: None
+        )
+        with pytest.raises(ValidationError):
+            registry.register(clone)
+        # Re-registering the same object is a no-op (module re-import).
+        assert registry.register(spec) is spec
+
+
+class TestSpecRun:
+    def test_meta_stamped_on_result(self):
+        def runner(repetitions=3, seed=11, jobs=1):
+            result = ExperimentResult("toy", "t", ["a"])
+            result.add_row(a=repetitions)
+            return result
+
+        spec = ExperimentSpec(
+            name="toy", title="t", runner=runner, default_repetitions=3
+        )
+        result = spec.run(repetitions=2, seed=5, jobs=2)
+        assert result.meta["experiment"] == "toy"
+        assert result.meta["repetitions"] == 2
+        assert result.meta["seed"] == 5
+        assert result.meta["jobs"] == 2
+        assert result.meta["wall_time_s"] >= 0.0
+
+    def test_defaults_recorded_when_not_overridden(self):
+        def runner(repetitions=3, seed=11, jobs=1):
+            return ExperimentResult("toy", "t", ["a"])
+
+        spec = ExperimentSpec(
+            name="toy", title="t", runner=runner, default_repetitions=3
+        )
+        result = spec.run()
+        assert result.meta["repetitions"] == 3
+        assert result.meta["seed"] == 11  # inspected from the signature
+
+    def test_render_shows_only_deterministic_meta(self):
+        result = ExperimentResult("toy", "t", ["a"])
+        result.add_row(a=1)
+        result.meta.update(
+            {"repetitions": 4, "seed": 9, "jobs": 8, "wall_time_s": 1.23}
+        )
+        rendered = result.render()
+        assert "repetitions=4" in rendered and "seed=9" in rendered
+        assert "jobs" not in rendered and "wall_time" not in rendered
+
+    def test_meta_roundtrips_through_dict(self):
+        result = ExperimentResult("toy", "t", ["a"])
+        result.add_row(a=1)
+        result.meta.update({"seed": 9, "jobs": 8, "wall_time_s": 1.23})
+        back = ExperimentResult.from_dict(result.to_dict())
+        assert back.meta == result.meta
+        assert back.rows == result.rows
+
+
+class TestSeedDeterminism:
+    def test_fig05_identical_across_jobs_levels(self):
+        serial = fig05.run(repetitions=2, seed=7, jobs=1)
+        parallel = fig05.run(repetitions=2, seed=7, jobs=4)
+        assert serial.rows == parallel.rows
+        assert serial.render() == parallel.render()
+
+    def test_run_all_only_is_repeatable(self):
+        first = runall.run_all(
+            placement_repetitions=2, only=["fig05"], seed=42, jobs=1
+        )
+        second = runall.run_all(
+            placement_repetitions=2, only=["fig05"], seed=42, jobs=2
+        )
+        assert [r.rows for r in first] == [r.rows for r in second]
+        assert first[0].meta["seed"] == derive_seed(42, "fig05")
+
+    def test_run_all_rejects_unknown_only(self):
+        with pytest.raises(UnknownExperimentError):
+            runall.run_all(only=["not_an_experiment"])
+
+    def test_derive_seed_is_stable_and_label_sensitive(self):
+        assert derive_seed(42, "fig05") == derive_seed(42, "fig05")
+        assert derive_seed(42, "fig05") != derive_seed(42, "fig06")
+        assert derive_seed(42, "fig05") != derive_seed(43, "fig05")
+
+    def test_trial_rng_independent_of_order(self):
+        a = trial_rng(5, 2, 3).uniform()
+        trial_rng(5, 0, 0).uniform()  # interleaved draws don't matter
+        assert a == trial_rng(5, 2, 3).uniform()
+
+    def test_default_constructed_bfdsu_is_deterministic(self):
+        w = WorkloadGenerator().workload(
+            num_vnfs=6, num_nodes=5, num_requests=10
+        )
+        problem = PlacementProblem(
+            vnfs=w.vnfs, capacities=w.capacities, chains=w.chains
+        )
+        first = BFDSUPlacement().place(problem)
+        second = BFDSUPlacement().place(problem)
+        assert first.placement == second.placement
+
+    def test_resolve_rng_none_uses_documented_default(self):
+        assert (
+            resolve_rng(None).uniform()
+            == np.random.default_rng(DEFAULT_SEED).uniform()
+        )
+
+
+class TestCli:
+    def test_list_names_every_experiment(self, capsys):
+        assert runall.main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in registry.names():
+            assert name in out
+
+    def test_only_unknown_name_errors_with_valid_names(self, capsys):
+        assert runall.main(["--only", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "bogus" in err and "fig05" in err
+
+    def test_negative_jobs_errors_cleanly(self, capsys):
+        assert runall.main(["--only", "fig05", "--jobs", "-1"]) == 2
+        assert "jobs must be >= 0" in capsys.readouterr().err
+
+    def test_only_runs_named_experiment(self, capsys):
+        assert runall.main(["--only", "sensitivity", "--jobs", "1"]) == 0
+        captured = capsys.readouterr()
+        assert "sensitivity" in captured.out
+        assert "fig05" not in captured.out
+        assert "[timing]" in captured.err  # timings on stderr only
+        assert "[timing]" not in captured.out

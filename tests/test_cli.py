@@ -21,9 +21,16 @@ class TestExperiments:
         assert "fig10" in out
         assert "BFDSU" in out
 
-    def test_unknown_figure_raises(self):
-        with pytest.raises(ModuleNotFoundError):
-            main(["experiments", "fig99"])
+    def test_unknown_figure_exits_with_valid_names(self, capsys):
+        assert main(["experiments", "fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "fig99" in err
+        assert "fig05" in err  # the error lists the valid names
+
+    def test_list_experiments(self, capsys):
+        assert main(["experiments", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig05" in out and "headline" in out
 
 
 class TestSimulate:
