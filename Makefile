@@ -1,4 +1,4 @@
-.PHONY: install test bench experiments examples ci clean
+.PHONY: install test bench bench-core lint experiments examples ci clean
 
 PYTHON ?= python
 
@@ -11,15 +11,28 @@ test:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
+bench-core:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_core.py --out bench_core.json
+
+# Lint via ruff when available (config in pyproject.toml); the runtime
+# image ships without it, so the gate degrades to a skip, not a failure.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks; \
+	else \
+		echo "ruff not installed; skipping lint (pip install ruff)"; \
+	fi
+
 experiments:
 	$(PYTHON) -m repro.experiments.runall
 
 experiments-paper:
 	$(PYTHON) -m repro.experiments.runall --paper
 
-ci:
+ci: lint
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 	PYTHONPATH=src $(PYTHON) -m repro.experiments.runall --only fig05 --jobs 2 --seed 7
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_core.py --quick --out bench_core.json
 
 examples:
 	@for f in examples/*.py; do echo "== $$f =="; $(PYTHON) $$f; echo; done

@@ -1,0 +1,214 @@
+"""Pre-refactor scalar metric paths, preserved for benchmarking.
+
+These are the object-graph implementations exactly as they stood before
+the columnar :mod:`repro.core.arrays` refactor (see the git history of
+``src/repro/core/evaluation.py``), including the linear duplicate scan
+the old ``ServiceInstance.assign`` performed.  ``bench_core.py`` times
+them against the vectorized replacements and cross-checks parity; the
+property tests in ``tests/core/test_metric_parity.py`` hold the two
+paths within 1e-12 relative error.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, List, Tuple
+
+from repro.core.admission import apply_admission_control
+from repro.core.evaluation import EvaluationReport
+from repro.exceptions import SchedulingError, ValidationError
+from repro.nfv.instance import ServiceInstance
+from repro.nfv.state import DeploymentState
+from repro.scheduling.base import SchedulingProblem
+from repro.topology.graph import DEFAULT_LINK_LATENCY
+
+
+def reference_instances(state: DeploymentState) -> List[ServiceInstance]:
+    """Materialize instances the pre-refactor way (linear duplicate scan)."""
+    table: Dict[Tuple[str, int], ServiceInstance] = {}
+    for vnf in state.vnfs:
+        for k in range(vnf.num_instances):
+            table[(vnf.name, k)] = ServiceInstance(vnf=vnf, index=k)
+    by_id = {r.request_id: r for r in state.requests}
+    for (request_id, vnf_name), k in state.schedule.items():
+        request = by_id.get(request_id)
+        if request is None:
+            raise ValidationError(
+                f"schedule references unknown request {request_id!r}"
+            )
+        instance = table.get((vnf_name, k))
+        if instance is None:
+            raise ValidationError(
+                f"schedule references unknown instance ({vnf_name!r}, {k})"
+            )
+        if not request.uses(vnf_name):
+            raise SchedulingError(
+                f"request {request_id!r} does not use VNF {vnf_name!r}; "
+                "cannot schedule it here"
+            )
+        if any(r.request_id == request_id for r in instance.requests):
+            raise SchedulingError(
+                f"request {request_id!r} already scheduled on "
+                f"instance {instance.key!r}"
+            )
+        instance.requests.append(request)
+    return list(table.values())
+
+
+def reference_average_node_utilization(state: DeploymentState) -> float:
+    """Pre-refactor Eq. (13): python loop over nodes in service."""
+    used = state.nodes_in_service()
+    if not used:
+        return 0.0
+    return sum(state.node_utilization(v) for v in used) / len(used)
+
+
+def reference_per_request_response_time(
+    state: DeploymentState, instances: List[ServiceInstance]
+) -> Dict[str, float]:
+    """Pre-refactor first term of Eq. (16): dict walk per chain entry."""
+    instance_w: Dict[Tuple[str, int], float] = {}
+    for inst in instances:
+        if inst.requests:
+            instance_w[inst.key] = (
+                inst.mean_response_time if inst.is_stable else math.inf
+            )
+    totals: Dict[str, float] = {}
+    for request in state.requests:
+        total = 0.0
+        for vnf_name in request.chain:
+            k = state.schedule.get((request.request_id, vnf_name))
+            if k is None:
+                raise SchedulingError(
+                    f"request {request.request_id!r} unscheduled on "
+                    f"VNF {vnf_name!r}"
+                )
+            total += instance_w[(vnf_name, k)]
+        totals[request.request_id] = total
+    return totals
+
+
+def reference_total_latency(
+    state: DeploymentState,
+    link_latency: float,
+    instances: List[ServiceInstance] = None,
+) -> float:
+    """Pre-refactor Eq. (16): per-request python accumulation."""
+    if instances is None:
+        instances = reference_instances(state)
+    response = reference_per_request_response_time(state, instances)
+    total = 0.0
+    for request in state.requests:
+        hops = state.inter_node_hops(request.request_id)
+        total += response[request.request_id] + hops * link_latency
+    return total
+
+
+def reference_total_inter_node_hops(state: DeploymentState) -> int:
+    """Pre-refactor hop count: one chain walk per request."""
+    return sum(state.inter_node_hops(r.request_id) for r in state.requests)
+
+
+def reference_evaluate_deployment(
+    state: DeploymentState,
+    link_latency: float = DEFAULT_LINK_LATENCY,
+    with_admission: bool = True,
+) -> EvaluationReport:
+    """The pre-refactor object-path ``evaluate_deployment``, verbatim."""
+    state.validate()
+    instances = reference_instances(state)
+    serving = [inst for inst in instances if inst.requests]
+
+    num_rejected = 0
+    rejection_rate = 0.0
+    latency_instances = serving
+    if with_admission:
+        outcome = apply_admission_control(serving)
+        num_rejected = outcome.num_rejected
+        rejection_rate = outcome.rejection_rate
+        latency_instances = [
+            inst for inst in outcome.instances if inst.requests
+        ]
+
+    if latency_instances and all(i.is_stable for i in latency_instances):
+        avg_w = sum(i.mean_response_time for i in latency_instances) / len(
+            latency_instances
+        )
+    else:
+        avg_w = math.inf
+
+    max_util = max((i.utilization for i in serving), default=0.0)
+
+    if math.isfinite(avg_w) and not num_rejected:
+        total = reference_total_latency(state, link_latency, instances)
+        avg_total = total / len(state.requests) if state.requests else 0.0
+    else:
+        total = math.inf
+        avg_total = math.inf
+
+    return EvaluationReport(
+        average_node_utilization=reference_average_node_utilization(state),
+        nodes_in_service=len(state.nodes_in_service()),
+        resource_occupation=sum(
+            state.node_capacities[v] for v in state.nodes_in_service()
+        ),
+        average_response_latency=avg_w,
+        max_instance_utilization=max_util,
+        total_latency=total,
+        average_total_latency=avg_total,
+        num_rejected=num_rejected,
+        rejection_rate=rejection_rate,
+    )
+
+
+def reference_node_loads(result) -> Dict[Hashable, float]:
+    """Pre-refactor ``PlacementResult.node_loads``: per-VNF dict loop."""
+    loads: Dict[Hashable, float] = {}
+    for vnf in result.problem.vnfs:
+        node = result.placement.get(vnf.name)
+        if node is None:
+            continue
+        loads[node] = loads.get(node, 0.0) + vnf.total_demand
+    return loads
+
+
+def reference_average_utilization(result) -> float:
+    """Pre-refactor ``PlacementResult.average_utilization``."""
+    loads = reference_node_loads(result)
+    if not loads:
+        return 0.0
+    total = 0.0
+    for node, load in loads.items():
+        capacity = result.problem.capacities[node]
+        total += load / capacity if capacity > 0 else 0.0
+    return total / len(loads)
+
+
+def reference_instance_rates(result) -> List[float]:
+    """Pre-refactor ``ScheduleResult.instance_rates``: object aggregation."""
+    instances = [
+        ServiceInstance(vnf=result.problem.vnf, index=k)
+        for k in range(result.problem.vnf.num_instances)
+    ]
+    for request in result.problem.requests:
+        k = result.assignment.get(request.request_id)
+        if k is None or not 0 <= k < len(instances):
+            raise SchedulingError(
+                f"request {request.request_id!r} has no valid instance"
+            )
+        instances[k].requests.append(request)
+    return [inst.equivalent_arrival_rate for inst in instances]
+
+
+def reference_schedule_all_vnfs(vnfs, requests, algorithm):
+    """Pre-refactor ``schedule_all_vnfs``: quadratic per-VNF user scan."""
+    joint: Dict[Tuple[str, str], int] = {}
+    for vnf in vnfs:
+        users = [r for r in requests if r.uses(vnf.name)]
+        if not users:
+            continue
+        result = algorithm.schedule(SchedulingProblem(vnf=vnf, requests=users))
+        result.validate()
+        for request_id, k in result.assignment.items():
+            joint[(request_id, vnf.name)] = k
+    return joint

@@ -10,7 +10,6 @@ architecture costs, and therefore how much of that cost good balancing
 """
 
 import numpy as np
-import pytest
 
 from repro.queueing.mm1 import MM1Queue
 from repro.queueing.mmc import MMCQueue

@@ -9,7 +9,6 @@ Two DESIGN.md ablations in one harness:
 """
 
 import numpy as np
-import pytest
 
 from repro.placement.bfd import BFDPlacement
 from repro.placement.bfdsu import BFDSUPlacement

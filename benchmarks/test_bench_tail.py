@@ -1,6 +1,5 @@
 """Benchmark + shape check for the 99th-percentile tail statistics."""
 
-from conftest import series
 
 from repro.experiments import tail
 

@@ -10,7 +10,7 @@ ratio — everything a claims table needs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Sequence
 
 import numpy as np
 

@@ -11,7 +11,6 @@ stop early without biasing the estimate materially.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.analysis.stats import _Z_SCORES

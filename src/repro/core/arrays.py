@@ -1,0 +1,416 @@
+"""Columnar scenario representation — the vectorized evaluation core.
+
+Every metric in the paper's evaluation pipeline (Eqs. 7, 12-16) reduces
+to segment sums over three entity tables: VNFs ``F`` (``M_f``, ``D_f``,
+``mu_f``), compute nodes ``V`` (``A_v``) and requests ``R``
+(``lambda_r``, ``P_r``).  :class:`ScenarioArrays` materializes those
+tables once as numpy columns — plus a CSR view of the request chains
+(the ``U_r^f`` incidence, in chain order) and a global service-instance
+index — so the hot metric paths become ``np.bincount`` / gather
+operations instead of per-object Python loops.
+
+Caching contract
+----------------
+The *static* columns depend only on the entity sets, which are immutable
+on every owning object (``PlacementProblem`` and ``SchedulingProblem``
+are frozen; ``DeploymentState.vnfs``/``requests``/``node_capacities``
+are never replaced in-repo).  Owners therefore build a
+:class:`ScenarioArrays` lazily on first use and cache it forever.
+
+The *dynamic* decision variables — the ``vnf_name -> node`` placement
+dict and the ``(request_id, vnf_name) -> k`` schedule dict — are
+mutable (e.g. :func:`repro.core.local_search.refine_placement` edits the
+placement in place).  They are converted to index vectors per call:
+
+* :meth:`ScenarioArrays.placement_vector` is O(|F|) — cheap enough to
+  rebuild on every metric evaluation, so placement mutation needs no
+  invalidation at all.
+* :meth:`ScenarioArrays.schedule_arrays` is O(|z|); owners that hold a
+  schedule (``DeploymentState``) cache the result keyed on the dict's
+  identity and length and expose ``invalidate_arrays()`` for the one
+  unsupported pattern (mutating schedule *values* in place).
+
+Adding a new vectorized metric (see ``docs/ARRAYS_CORE.md``) is: fetch
+the owner's cached ``ScenarioArrays``, convert the decision dicts with
+the two methods above, then express the metric as numpy reductions over
+the columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import SchedulingError, ValidationError
+from repro.queueing.mm1 import mm1_mean_response_times, mm1_utilizations
+
+
+@dataclass
+class ScheduleArrays:
+    """Index form of the ``z`` map: one row per (request, VNF) entry.
+
+    ``req``/``vnf``/``k`` hold the request index, VNF index and
+    instance-within-VNF index of each schedule entry; ``inst`` is the
+    global instance index (``instance_offset[vnf] + k``) used for
+    segment sums over all ``sum_f M_f`` service instances.
+    """
+
+    req: np.ndarray
+    vnf: np.ndarray
+    k: np.ndarray
+    inst: np.ndarray
+    #: Lazily built sort permutation of ``req * F + vnf`` entry codes,
+    #: enabling vectorized (request, vnf) -> instance lookups.
+    _codes_sorted: Optional[np.ndarray] = field(default=None, repr=False)
+    _order: Optional[np.ndarray] = field(default=None, repr=False)
+
+    def __len__(self) -> int:
+        return int(self.req.shape[0])
+
+    def sorted_codes(self, num_vnfs: int) -> Tuple[np.ndarray, np.ndarray]:
+        """The entry codes ``req * F + vnf`` sorted, with the sort order."""
+        if self._codes_sorted is None:
+            codes = self.req * np.int64(num_vnfs) + self.vnf
+            order = np.argsort(codes, kind="stable")
+            self._codes_sorted = codes[order]
+            self._order = order
+        return self._codes_sorted, self._order
+
+
+@dataclass
+class ScenarioArrays:
+    """Columnar view of one scenario's entity tables.
+
+    Attributes mirror the paper's symbols: ``M_f``/``D_f``/``mu_f`` per
+    VNF, ``A_v`` per node, ``lambda_r``/``P_r`` and the loss-feedback
+    effective rate ``lambda_r / P_r`` per request.  ``chain_req`` /
+    ``chain_vnf`` list every (request, chain-position) pair in
+    request-major chain order — the CSR row pointers are ``chain_ptr``.
+    """
+
+    # --- VNF columns -------------------------------------------------
+    vnf_names: Tuple[str, ...]
+    vnf_index: Dict[str, int]
+    M_f: np.ndarray
+    D_f: np.ndarray
+    mu_f: np.ndarray
+    total_demand_f: np.ndarray
+    #: Exclusive prefix sum of ``M_f`` (length ``F + 1``): instance
+    #: ``(f, k)`` has global index ``instance_offset[f] + k``.
+    instance_offset: np.ndarray
+    num_instances: int
+    #: Per global instance: owning VNF index and its ``mu_f``.
+    inst_vnf: np.ndarray
+    mu_inst: np.ndarray
+
+    # --- node columns ------------------------------------------------
+    node_keys: Tuple[Hashable, ...]
+    node_index: Dict[Hashable, int]
+    A_v: np.ndarray
+
+    # --- request columns ---------------------------------------------
+    request_ids: Tuple[str, ...]
+    request_index: Dict[str, int]
+    lambda_r: np.ndarray
+    P_r: np.ndarray
+    eff_rate: np.ndarray
+
+    # --- chain incidence (CSR, request-major, chain order) -----------
+    chain_req: np.ndarray
+    chain_vnf: np.ndarray
+    chain_ptr: np.ndarray
+    #: VNF name per chain entry (for error reporting; ``chain_vnf`` is
+    #: ``-1`` when the name is unknown).
+    chain_names: Tuple[str, ...]
+    #: True when some chain references a VNF name absent from ``vnfs``
+    #: (``chain_vnf`` holds ``-1`` there); vectorized consumers must
+    #: fall back to the scalar path so legacy errors are preserved.
+    chain_has_unknown: bool = False
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        vnfs: Sequence,
+        requests: Sequence,
+        node_capacities: Mapping[Hashable, float],
+    ) -> "ScenarioArrays":
+        """Materialize the static columns from the entity objects."""
+        vnf_names = tuple(f.name for f in vnfs)
+        vnf_index = {name: i for i, name in enumerate(vnf_names)}
+        M_f = np.array([f.num_instances for f in vnfs], dtype=np.int64)
+        D_f = np.array([f.demand_per_instance for f in vnfs], dtype=np.float64)
+        mu_f = np.array([f.service_rate for f in vnfs], dtype=np.float64)
+        total_demand_f = np.array(
+            [f.total_demand for f in vnfs], dtype=np.float64
+        )
+        instance_offset = np.zeros(len(vnfs) + 1, dtype=np.int64)
+        np.cumsum(M_f, out=instance_offset[1:])
+        num_instances = int(instance_offset[-1])
+        inst_vnf = np.repeat(np.arange(len(vnfs), dtype=np.int64), M_f)
+        mu_inst = mu_f[inst_vnf] if len(vnfs) else np.zeros(0)
+
+        node_keys = tuple(node_capacities.keys())
+        node_index = {key: i for i, key in enumerate(node_keys)}
+        A_v = np.array(
+            [node_capacities[key] for key in node_keys], dtype=np.float64
+        )
+
+        request_ids = tuple(r.request_id for r in requests)
+        request_index = {rid: i for i, rid in enumerate(request_ids)}
+        lambda_r = np.array([r.arrival_rate for r in requests], dtype=np.float64)
+        P_r = np.array(
+            [r.delivery_probability for r in requests], dtype=np.float64
+        )
+        # Elementwise division matches the scalar lambda_r / P_r exactly.
+        eff_rate = lambda_r / P_r if len(requests) else np.zeros(0)
+
+        chain_req_list = []
+        chain_vnf_list = []
+        chain_name_list = []
+        chain_ptr = np.zeros(len(requests) + 1, dtype=np.int64)
+        has_unknown = False
+        for i, request in enumerate(requests):
+            for name in request.chain:
+                idx = vnf_index.get(name, -1)
+                if idx < 0:
+                    has_unknown = True
+                chain_req_list.append(i)
+                chain_vnf_list.append(idx)
+                chain_name_list.append(name)
+            chain_ptr[i + 1] = len(chain_req_list)
+        chain_req = np.array(chain_req_list, dtype=np.int64)
+        chain_vnf = np.array(chain_vnf_list, dtype=np.int64)
+
+        return cls(
+            vnf_names=vnf_names,
+            vnf_index=vnf_index,
+            M_f=M_f,
+            D_f=D_f,
+            mu_f=mu_f,
+            total_demand_f=total_demand_f,
+            instance_offset=instance_offset,
+            num_instances=num_instances,
+            inst_vnf=inst_vnf,
+            mu_inst=mu_inst,
+            node_keys=node_keys,
+            node_index=node_index,
+            A_v=A_v,
+            request_ids=request_ids,
+            request_index=request_index,
+            lambda_r=lambda_r,
+            P_r=P_r,
+            eff_rate=eff_rate,
+            chain_req=chain_req,
+            chain_vnf=chain_vnf,
+            chain_ptr=chain_ptr,
+            chain_names=tuple(chain_name_list),
+            chain_has_unknown=has_unknown,
+        )
+
+    @classmethod
+    def from_placement_problem(cls, problem) -> "ScenarioArrays":
+        """Columns for a :class:`~repro.placement.base.PlacementProblem`."""
+        return cls.build(problem.vnfs, (), problem.capacities)
+
+    @classmethod
+    def from_scheduling_problem(cls, problem) -> "ScenarioArrays":
+        """Columns for a :class:`~repro.scheduling.base.SchedulingProblem`."""
+        return cls.build((problem.vnf,), problem.requests, {})
+
+    @classmethod
+    def from_deployment_state(cls, state) -> "ScenarioArrays":
+        """Columns for a :class:`~repro.nfv.state.DeploymentState`."""
+        return cls.build(state.vnfs, state.requests, state.node_capacities)
+
+    # ------------------------------------------------------------------
+    # Decision-variable conversion (dynamic, rebuilt per call)
+    # ------------------------------------------------------------------
+    def placement_vector(self, placement: Mapping[str, Hashable]) -> np.ndarray:
+        """Node index per VNF; ``-1`` for an unplaced VNF.
+
+        Raises
+        ------
+        KeyError
+            If some VNF is placed on a node absent from the capacity map
+            (callers fall back to the scalar path to surface the legacy
+            error for that case).
+        """
+        vec = np.empty(len(self.vnf_names), dtype=np.int64)
+        node_index = self.node_index
+        for i, name in enumerate(self.vnf_names):
+            node = placement.get(name)
+            vec[i] = -1 if node is None else node_index[node]
+        return vec
+
+    def schedule_arrays(
+        self, schedule: Mapping[Tuple[str, str], int]
+    ) -> ScheduleArrays:
+        """Convert the ``(request_id, vnf_name) -> k`` map to index form.
+
+        Raises
+        ------
+        ValidationError
+            If an entry references an unknown request or an instance
+            outside ``[0, M_f)`` — mirroring
+            :meth:`~repro.nfv.state.DeploymentState.instances`.
+        """
+        n = len(schedule)
+        req = np.empty(n, dtype=np.int64)
+        vnf = np.empty(n, dtype=np.int64)
+        k = np.empty(n, dtype=np.int64)
+        request_index = self.request_index
+        vnf_index = self.vnf_index
+        M_f = self.M_f
+        for i, ((request_id, vnf_name), kk) in enumerate(schedule.items()):
+            ri = request_index.get(request_id)
+            if ri is None:
+                raise ValidationError(
+                    f"schedule references unknown request {request_id!r}"
+                )
+            fi = vnf_index.get(vnf_name)
+            if fi is None or not 0 <= kk < M_f[fi]:
+                raise ValidationError(
+                    f"schedule references unknown instance ({vnf_name!r}, {kk})"
+                )
+            req[i] = ri
+            vnf[i] = fi
+            k[i] = kk
+        inst = self.instance_offset[vnf] + k
+        return ScheduleArrays(req=req, vnf=vnf, k=k, inst=inst)
+
+    # ------------------------------------------------------------------
+    # Placement metrics (Eqs. 13/14, Fig. 9)
+    # ------------------------------------------------------------------
+    def node_loads(self, placement_vec: np.ndarray) -> np.ndarray:
+        """Placed demand per node: ``sum_f x_v^f M_f D_f`` (length |V|)."""
+        mask = placement_vec >= 0
+        return np.bincount(
+            placement_vec[mask],
+            weights=self.total_demand_f[mask],
+            minlength=len(self.node_keys),
+        )
+
+    def used_node_mask(self, placement_vec: np.ndarray) -> np.ndarray:
+        """Boolean ``y_v`` per node (Eq. 1): hosts at least one VNF."""
+        mask = placement_vec >= 0
+        counts = np.bincount(
+            placement_vec[mask], minlength=len(self.node_keys)
+        )
+        return counts > 0
+
+    # ------------------------------------------------------------------
+    # Instance aggregates (Eqs. 7/9/12)
+    # ------------------------------------------------------------------
+    def instance_rates(
+        self, sched: ScheduleArrays
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-instance ``(Lambda_k^f, external rate, request count)``.
+
+        ``Lambda_k^f = sum_r z_{r,k}^f lambda_r / P_r`` (Eq. 7); the
+        external rate is the same sum over the raw ``lambda_r``.
+        """
+        equivalent = np.bincount(
+            sched.inst,
+            weights=self.eff_rate[sched.req],
+            minlength=self.num_instances,
+        )
+        external = np.bincount(
+            sched.inst,
+            weights=self.lambda_r[sched.req],
+            minlength=self.num_instances,
+        )
+        counts = np.bincount(sched.inst, minlength=self.num_instances)
+        return equivalent, external, counts
+
+    def instance_utilizations(self, equivalent: np.ndarray) -> np.ndarray:
+        """``rho_k^f = Lambda_k^f / mu_f`` (Eq. 9) for every instance."""
+        return mm1_utilizations(equivalent, self.mu_inst)
+
+    def instance_response_times(
+        self, equivalent: np.ndarray, external: np.ndarray
+    ) -> np.ndarray:
+        """``W(f,k)`` per instance (Eq. 12); ``inf`` where unstable.
+
+        Entries for idle instances (zero external rate) are ``nan`` and
+        must be masked by the caller.
+        """
+        return mm1_mean_response_times(equivalent, self.mu_inst, external)
+
+    # ------------------------------------------------------------------
+    # Chain traversal (Eq. 16's communication term)
+    # ------------------------------------------------------------------
+    def chain_instances(self, sched: ScheduleArrays) -> np.ndarray:
+        """Global instance index per chain entry; ``-1`` where the
+        (request, VNF) pair has no schedule entry."""
+        num_vnfs = len(self.vnf_names)
+        codes_sorted, order = sched.sorted_codes(num_vnfs)
+        chain_codes = self.chain_req * np.int64(num_vnfs) + self.chain_vnf
+        pos = np.searchsorted(codes_sorted, chain_codes)
+        pos_clipped = np.minimum(pos, max(len(sched) - 1, 0))
+        if len(sched):
+            found = (codes_sorted[pos_clipped] == chain_codes) & (
+                self.chain_vnf >= 0
+            )
+            inst = np.where(found, sched.inst[order[pos_clipped]], -1)
+        else:
+            inst = np.full(len(chain_codes), -1, dtype=np.int64)
+        return inst
+
+    def hops_per_request(self, placement_vec: np.ndarray) -> np.ndarray:
+        """Eq. (16)'s ``(sum_v eta_v^r - 1)`` with consecutive-duplicate
+        collapsing: inter-node transitions along each chain."""
+        node_seq = placement_vec[self.chain_vnf]
+        if len(node_seq) < 2:
+            return np.zeros(len(self.request_ids), dtype=np.int64)
+        same_request = self.chain_req[1:] == self.chain_req[:-1]
+        transition = same_request & (node_seq[1:] != node_seq[:-1])
+        return np.bincount(
+            self.chain_req[1:][transition], minlength=len(self.request_ids)
+        )
+
+    def response_per_request(
+        self,
+        sched: ScheduleArrays,
+        instance_w: np.ndarray,
+    ) -> np.ndarray:
+        """First term of Eq. (16): summed ``W(f,k)`` along each chain.
+
+        Raises
+        ------
+        SchedulingError
+            If some chain entry has no schedule assignment (mirroring
+            :func:`repro.core.objectives.per_request_response_time`).
+        """
+        inst = self.chain_instances(sched)
+        missing = inst < 0
+        if missing.any():
+            entry = int(np.argmax(missing))
+            request_id = self.request_ids[int(self.chain_req[entry])]
+            vnf_name = self.chain_names[entry]
+            raise SchedulingError(
+                f"request {request_id!r} unscheduled on "
+                f"VNF {vnf_name!r}"
+            )
+        return np.bincount(
+            self.chain_req,
+            weights=instance_w[inst],
+            minlength=len(self.request_ids),
+        )
+
+
+def cached_arrays(owner, builder) -> ScenarioArrays:
+    """Fetch/build the ``ScenarioArrays`` cached on ``owner``.
+
+    Works for frozen dataclasses too (attribute set bypasses
+    ``__setattr__``).  ``builder`` is called once with ``owner``.
+    """
+    arrays = getattr(owner, "_scenario_arrays", None)
+    if arrays is None:
+        arrays = builder(owner)
+        object.__setattr__(owner, "_scenario_arrays", arrays)
+    return arrays

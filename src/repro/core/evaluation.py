@@ -8,16 +8,28 @@ evaluation section uses, in one pass:
 * scheduling quality (Eq. 15, per-instance utilizations),
 * the coordinated objective (Eq. 16) with link latency ``L``,
 * job rejection rate under admission control.
+
+The hot path runs on the state's cached columnar view
+(:mod:`repro.core.arrays`): instance rates, utilizations and the Eq. (12)
+response times are segment sums over the schedule's index arrays, and
+the Eq. (16) communication term is one pass over the chain CSR.  Only
+when admission control actually has to shed load does the evaluation
+drop to the per-object path, which models the greedy per-instance
+rejection exactly.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+
+import numpy as np
 
 from repro.core import objectives
-from repro.core.admission import apply_admission_control
+from repro.core.admission import (
+    DEFAULT_TARGET_UTILIZATION,
+    apply_admission_control,
+)
 from repro.nfv.state import DeploymentState
 from repro.topology.graph import DEFAULT_LINK_LATENCY
 
@@ -45,6 +57,18 @@ class EvaluationReport:
         return math.isfinite(self.average_response_latency)
 
 
+def _resource_occupation(state: DeploymentState) -> float:
+    """Sum of ``A_v`` over nodes in service."""
+    arrays = state.arrays()
+    try:
+        placement_vec = arrays.placement_vector(state.placement)
+    except KeyError:
+        return sum(
+            state.node_capacities[v] for v in state.nodes_in_service()
+        )
+    return float(arrays.A_v[arrays.used_node_mask(placement_vec)].sum())
+
+
 def evaluate_deployment(
     state: DeploymentState,
     link_latency: float = DEFAULT_LINK_LATENCY,
@@ -65,19 +89,66 @@ def evaluate_deployment(
         shedding was required).
     """
     state.validate()
+    arrays = state.arrays()
+    sched = state.schedule_arrays()
+    equivalent, external, counts = arrays.instance_rates(sched)
+    serving = counts > 0
+    utilization = arrays.instance_utilizations(equivalent)
+
+    if with_admission and bool(
+        (equivalent[serving] > arrays.mu_inst[serving]
+         * DEFAULT_TARGET_UTILIZATION).any()
+    ):
+        # Some instance must shed load: the greedy per-request rejection
+        # policy is inherently sequential, so run the object path.
+        return _evaluate_with_shedding(state, link_latency)
+
+    max_util = (
+        float(utilization[serving].max()) if serving.any() else 0.0
+    )
+
+    if serving.any() and bool((utilization[serving] < 1.0).all()):
+        instance_w = arrays.instance_response_times(equivalent, external)
+        w = instance_w[serving]
+        avg_w = float(w.sum() / len(w))
+    else:
+        instance_w = None
+        avg_w = math.inf
+
+    if math.isfinite(avg_w):
+        response = arrays.response_per_request(sched, instance_w)
+        placement_vec = arrays.placement_vector(state.placement)
+        hops = arrays.hops_per_request(placement_vec)
+        total = float(np.sum(response + hops * link_latency))
+        avg_total = total / len(state.requests) if state.requests else 0.0
+    else:
+        total = math.inf
+        avg_total = math.inf
+
+    return EvaluationReport(
+        average_node_utilization=state.average_node_utilization(),
+        nodes_in_service=state.total_nodes_in_service(),
+        resource_occupation=_resource_occupation(state),
+        average_response_latency=avg_w,
+        max_instance_utilization=max_util,
+        total_latency=total,
+        average_total_latency=avg_total,
+        num_rejected=0,
+        rejection_rate=0.0,
+    )
+
+
+def _evaluate_with_shedding(
+    state: DeploymentState, link_latency: float
+) -> EvaluationReport:
+    """The pre-vectorization object path, for deployments that shed."""
     instances = state.instances()
     serving = [inst for inst in instances if inst.requests]
 
-    num_rejected = 0
-    rejection_rate = 0.0
-    latency_instances = serving
-    if with_admission:
-        outcome = apply_admission_control(serving)
-        num_rejected = outcome.num_rejected
-        rejection_rate = outcome.rejection_rate
-        latency_instances = [
-            inst for inst in outcome.instances if inst.requests
-        ]
+    outcome = apply_admission_control(serving)
+    num_rejected = outcome.num_rejected
+    rejection_rate = outcome.rejection_rate
+    latency_instances = [inst for inst in outcome.instances if inst.requests]
 
     if latency_instances and all(i.is_stable for i in latency_instances):
         avg_w = sum(i.mean_response_time for i in latency_instances) / len(
@@ -105,9 +176,7 @@ def evaluate_deployment(
     return EvaluationReport(
         average_node_utilization=state.average_node_utilization(),
         nodes_in_service=state.total_nodes_in_service(),
-        resource_occupation=sum(
-            state.node_capacities[v] for v in state.nodes_in_service()
-        ),
+        resource_occupation=_resource_occupation(state),
         average_response_latency=avg_w,
         max_instance_utilization=max_util,
         total_latency=total,

@@ -20,7 +20,7 @@ intra-server chains — as an explicit optimization step.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Hashable, Optional
 
 from repro.exceptions import ValidationError
 from repro.nfv.state import DeploymentState
@@ -43,7 +43,23 @@ class RefinementReport:
 
 
 def total_inter_node_hops(state: DeploymentState) -> int:
-    """Sum of Eq. (16)'s hop counts over all requests."""
+    """Sum of Eq. (16)'s hop counts over all requests.
+
+    The count is one vectorized pass over the chain CSR (this is the
+    inner loop of every relocate-move evaluation); degenerate states —
+    an unplaced chain VNF, a node missing from the capacity map — fall
+    back to the per-request walk for its exact legacy errors.
+    """
+    arrays = state.arrays()
+    if not arrays.chain_has_unknown:
+        try:
+            placement_vec = arrays.placement_vector(state.placement)
+        except KeyError:
+            placement_vec = None
+        if placement_vec is not None and not bool(
+            (placement_vec[arrays.chain_vnf] < 0).any()
+        ):
+            return int(arrays.hops_per_request(placement_vec).sum())
     return sum(
         state.inter_node_hops(r.request_id) for r in state.requests
     )

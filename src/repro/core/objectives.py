@@ -7,12 +7,19 @@ These functions score a complete :class:`~repro.nfv.state.DeploymentState`:
 * Eq. (15): minimize the average response latency per service instance.
 * Eq. (16): minimize the total latency of all requests — per-request
   instance response times plus ``(sum_v eta_v^r - 1) * L`` link latency.
+
+All four run on the state's cached :class:`~repro.core.arrays.ScenarioArrays`
+(segment sums over instance/request columns); degenerate states — an
+unplaced chain VNF, a node missing from the capacity map — drop to the
+scalar walk so the legacy error surfaces unchanged.
 """
 
 from __future__ import annotations
 
 import math
 from typing import Dict, Tuple
+
+import numpy as np
 
 from repro.exceptions import SchedulingError
 from repro.nfv.state import DeploymentState
@@ -28,18 +35,32 @@ def total_nodes_in_service(state: DeploymentState) -> int:
     return state.total_nodes_in_service()
 
 
+def _instance_response_times(state: DeploymentState) -> Tuple:
+    """``(arrays, sched, instance_w, serving)`` for the current schedule.
+
+    ``instance_w`` holds ``W(f,k)`` per global instance — ``inf`` for an
+    unstable serving instance, ``nan`` for an idle one.
+    """
+    arrays = state.arrays()
+    sched = state.schedule_arrays()
+    equivalent, external, counts = arrays.instance_rates(sched)
+    instance_w = arrays.instance_response_times(equivalent, external)
+    return arrays, sched, instance_w, counts > 0
+
+
 def average_response_latency(state: DeploymentState) -> float:
     """Objective 2 (Eq. 15): mean ``W(f,k)`` over serving instances.
 
     Instances with no scheduled requests are skipped (their ``W`` is
     undefined); an unstable serving instance yields ``inf``.
     """
-    serving = [inst for inst in state.instances() if inst.requests]
-    if not serving:
+    _, _, instance_w, serving = _instance_response_times(state)
+    if not serving.any():
         raise SchedulingError("no instance serves any request")
-    if not all(inst.is_stable for inst in serving):
+    w = instance_w[serving]
+    if np.isinf(w).any():
         return math.inf
-    return sum(inst.mean_response_time for inst in serving) / len(serving)
+    return float(w.sum() / len(w))
 
 
 def per_request_response_time(state: DeploymentState) -> Dict[str, float]:
@@ -47,25 +68,12 @@ def per_request_response_time(state: DeploymentState) -> Dict[str, float]:
 
     The first term of Eq. (16): ``sum_f sum_k z_{r,k}^f U_r^f W(f,k)``.
     """
-    instance_w: Dict[Tuple[str, int], float] = {}
-    for inst in state.instances():
-        if inst.requests:
-            instance_w[inst.key] = (
-                inst.mean_response_time if inst.is_stable else math.inf
-            )
-    totals: Dict[str, float] = {}
-    for request in state.requests:
-        total = 0.0
-        for vnf_name in request.chain:
-            k = state.schedule.get((request.request_id, vnf_name))
-            if k is None:
-                raise SchedulingError(
-                    f"request {request.request_id!r} unscheduled on "
-                    f"VNF {vnf_name!r}"
-                )
-            total += instance_w[(vnf_name, k)]
-        totals[request.request_id] = total
-    return totals
+    arrays, sched, instance_w, _ = _instance_response_times(state)
+    totals = arrays.response_per_request(sched, instance_w)
+    return {
+        request_id: float(total)
+        for request_id, total in zip(arrays.request_ids, totals)
+    }
 
 
 def total_latency(state: DeploymentState, link_latency: float) -> float:
@@ -78,11 +86,28 @@ def total_latency(state: DeploymentState, link_latency: float) -> float:
     link_latency:
         The per-hop constant ``L`` (propagation + transmission).
     """
-    response = per_request_response_time(state)
+    arrays, sched, instance_w, _ = _instance_response_times(state)
+    response = arrays.response_per_request(sched, instance_w)
+
+    placement_vec = None
+    if not arrays.chain_has_unknown:
+        try:
+            placement_vec = arrays.placement_vector(state.placement)
+        except KeyError:
+            placement_vec = None
+        if placement_vec is not None and bool(
+            (placement_vec[arrays.chain_vnf] < 0).any()
+        ):
+            placement_vec = None
+    if placement_vec is not None:
+        hops = arrays.hops_per_request(placement_vec)
+        return float(np.sum(response + hops * link_latency))
+
+    # Scalar fallback: surfaces the legacy unplaced-VNF error.
     total = 0.0
-    for request in state.requests:
+    for i, request in enumerate(state.requests):
         hops = state.inter_node_hops(request.request_id)
-        total += response[request.request_id] + hops * link_latency
+        total += float(response[i]) + hops * link_latency
     return total
 
 

@@ -17,8 +17,8 @@ extremes — the dynamics the paper defers to future SDN-coordinated work.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 from repro.exceptions import SchedulingError, ValidationError
 from repro.nfv.request import Request

@@ -9,7 +9,7 @@ text rendering is what EXPERIMENTS.md embeds.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Union
 
 Number = Union[int, float]
 

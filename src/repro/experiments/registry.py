@@ -29,7 +29,7 @@ import importlib
 import inspect
 import pkgutil
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.exceptions import UnknownExperimentError, ValidationError

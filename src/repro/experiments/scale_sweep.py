@@ -1,0 +1,151 @@
+"""Evaluation-scale sweep — wall-clock trajectory of the columnar core.
+
+The related work this reproduction targets (Sang et al., Xu et al.)
+evaluates thousands of requests and hundreds of servers per step; the
+columnar :mod:`repro.core.arrays` refactor exists so the Eq. (13)-(16)
+scorecard keeps up at that scale.  This experiment runs the full joint
+pipeline on growing workloads and records how long one
+``evaluate_deployment`` pass takes, alongside the headline metrics, so
+regressions in the hot path show up as a trajectory rather than a
+silent slowdown (``benchmarks/bench_core.py`` is the matching
+old-vs-new micro-benchmark).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.evaluation import evaluate_deployment
+from repro.core.joint import JointOptimizer
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.montecarlo import run_trials
+from repro.experiments.registry import ExperimentSpec, register
+from repro.nfv.request import Request
+from repro.scheduling.least_loaded import LeastLoadedScheduler
+from repro.workload.generator import WorkloadGenerator
+
+#: Per-hop link latency (seconds) for Eq. (16) — intra-DC scale.
+LINK_LATENCY = 1e-4
+
+#: Request counts swept; nodes scale as ``max(20, requests // 10)``.
+SIZES = (250, 500, 1000, 2000)
+
+#: Cap on per-VNF aggregate utilization so no instance sheds load and
+#: the sweep times the analytic (no-admission) evaluation path.
+TARGET_UTILIZATION = 0.7
+
+
+def _stabilize(vnfs, requests) -> List[Request]:
+    """Scale arrival rates so every VNF's aggregate load stays stable."""
+    load = {f.name: 0.0 for f in vnfs}
+    for request in requests:
+        for vnf_name in request.chain:
+            load[vnf_name] += request.effective_rate
+    worst = max(
+        load[f.name] / (f.num_instances * f.service_rate)
+        for f in vnfs
+        if f.num_instances * f.service_rate > 0
+    )
+    if worst <= TARGET_UTILIZATION:
+        return list(requests)
+    scale = TARGET_UTILIZATION / worst
+    return [
+        Request(
+            request_id=r.request_id,
+            chain=r.chain,
+            arrival_rate=r.arrival_rate * scale,
+            delivery_probability=r.delivery_probability,
+        )
+        for r in requests
+    ]
+
+
+def _trial(task: Tuple[int, int, int]) -> dict:
+    """One (size, repetition): solve the joint problem, time evaluation."""
+    seed, rep, num_requests = task
+    gen = WorkloadGenerator(
+        np.random.default_rng(np.random.SeedSequence([seed, rep, num_requests]))
+    )
+    w = gen.workload(
+        num_vnfs=24,
+        num_nodes=max(20, num_requests // 10),
+        num_requests=num_requests,
+        instance_range=(8, 25),
+    )
+    requests = _stabilize(w.vnfs, w.requests)
+    optimizer = JointOptimizer(
+        scheduler=LeastLoadedScheduler(), link_latency=LINK_LATENCY
+    )
+    start = time.perf_counter()
+    solution = optimizer.optimize(w.vnfs, requests, w.capacities)
+    solve_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    report = evaluate_deployment(solution.state, link_latency=LINK_LATENCY)
+    evaluate_s = time.perf_counter() - start
+    return {
+        "requests": num_requests,
+        "solve_s": solve_s,
+        "evaluate_s": evaluate_s,
+        "utilization": report.average_node_utilization,
+        "avg_total_latency": report.average_total_latency,
+    }
+
+
+def run(
+    repetitions: int = 2, seed: int = 20170621, jobs: int = 1
+) -> ExperimentResult:
+    """Sweep workload sizes, averaging timings over repetitions."""
+    tasks = [
+        (seed, rep, size) for size in SIZES for rep in range(repetitions)
+    ]
+    trials = run_trials(_trial, tasks, jobs=jobs)
+
+    result = ExperimentResult(
+        experiment_id="scale_sweep",
+        title="Evaluation wall-clock vs workload size (columnar core)",
+        columns=[
+            "requests",
+            "solve_ms",
+            "evaluate_ms",
+            "utilization",
+            "avg_total_latency",
+        ],
+    )
+    for size in SIZES:
+        rows = [t for t in trials if t["requests"] == size]
+        result.add_row(
+            requests=size,
+            solve_ms=float(np.mean([t["solve_s"] for t in rows]) * 1e3),
+            evaluate_ms=float(np.mean([t["evaluate_s"] for t in rows]) * 1e3),
+            utilization=float(np.mean([t["utilization"] for t in rows])),
+            avg_total_latency=float(
+                np.mean([t["avg_total_latency"] for t in rows])
+            ),
+        )
+    result.notes.append(
+        "timings are wall-clock and machine-dependent; compare shapes, "
+        "not absolute values (see benchmarks/bench_core.py for the "
+        "old-vs-new comparison)"
+    )
+    return result
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="scale_sweep",
+        title="Evaluation wall-clock vs workload size (columnar core)",
+        runner=run,
+        profile="joint",
+        tags=("performance", "beyond-paper"),
+        default_repetitions=2,
+        order=1900,
+    )
+)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run().print()

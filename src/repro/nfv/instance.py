@@ -60,12 +60,19 @@ class ServiceInstance:
                 f"request {request.request_id!r} does not use VNF "
                 f"{self.vnf.name!r}; cannot schedule it here"
             )
-        if any(r.request_id == request.request_id for r in self.requests):
+        # O(1) membership via a cached id set, rebuilt if ``requests``
+        # was replaced or mutated behind our back.
+        assigned_ids = getattr(self, "_assigned_ids", None)
+        if assigned_ids is None or len(assigned_ids) != len(self.requests):
+            assigned_ids = {r.request_id for r in self.requests}
+            self._assigned_ids = assigned_ids
+        if request.request_id in assigned_ids:
             raise SchedulingError(
                 f"request {request.request_id!r} already scheduled on "
                 f"instance {self.key!r}"
             )
         self.requests.append(request)
+        assigned_ids.add(request.request_id)
 
     @property
     def external_arrival_rate(self) -> float:

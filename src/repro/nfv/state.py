@@ -19,12 +19,17 @@ placement variables ``x_v^f``/``y_v`` and the scheduling variables
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Hashable, List, Mapping, Sequence, Tuple
+
+import numpy as np
 
 from repro.exceptions import ValidationError
 from repro.nfv.instance import ServiceInstance
 from repro.nfv.request import Request
 from repro.nfv.vnf import VNF
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.arrays import ScenarioArrays, ScheduleArrays
 
 
 @dataclass
@@ -59,6 +64,46 @@ class DeploymentState:
         self._request_by_id = {r.request_id: r for r in self.requests}
         if len(self._request_by_id) != len(self.requests):
             raise ValidationError("duplicate request ids in problem instance")
+        self._scenario_arrays = None
+        self._schedule_arrays_cache = None
+
+    # ------------------------------------------------------------------
+    # Columnar view (see docs/ARRAYS_CORE.md for the caching contract)
+    # ------------------------------------------------------------------
+    def arrays(self) -> "ScenarioArrays":
+        """The cached columnar view of this state's entity tables.
+
+        Built once; valid as long as ``vnfs``/``requests``/
+        ``node_capacities`` are not replaced (mutating ``placement`` or
+        adding/removing ``schedule`` entries is fine — those are
+        re-indexed per metric call).  Call :meth:`invalidate_arrays`
+        after replacing an entity sequence.
+        """
+        from repro.core.arrays import ScenarioArrays
+
+        if self._scenario_arrays is None:
+            self._scenario_arrays = ScenarioArrays.from_deployment_state(self)
+        return self._scenario_arrays
+
+    def schedule_arrays(self) -> "ScheduleArrays":
+        """Index form of ``schedule``, cached on (dict identity, size).
+
+        Replacing the dict or adding/removing entries invalidates the
+        cache automatically; mutating an entry's *value* in place is the
+        one pattern that requires :meth:`invalidate_arrays`.
+        """
+        cache = self._schedule_arrays_cache
+        key = (id(self.schedule), len(self.schedule))
+        if cache is None or cache[0] != key:
+            sched = self.arrays().schedule_arrays(self.schedule)
+            self._schedule_arrays_cache = (key, sched)
+            return sched
+        return cache[1]
+
+    def invalidate_arrays(self) -> None:
+        """Drop the cached columnar views (after entity-level edits)."""
+        self._scenario_arrays = None
+        self._schedule_arrays_cache = None
 
     # ------------------------------------------------------------------
     # Placement variables
@@ -246,11 +291,31 @@ class DeploymentState:
     # ------------------------------------------------------------------
     def average_node_utilization(self) -> float:
         """Objective 1 value (Eq. 13): mean utilization over used nodes."""
-        used = self.nodes_in_service()
-        if not used:
+        arrays = self.arrays()
+        try:
+            placement_vec = arrays.placement_vector(self.placement)
+        except KeyError:
+            # A VNF sits on a node with no capacity entry; the scalar
+            # path raises the legacy "unknown node" error.
+            used = self.nodes_in_service()
+            if not used:
+                return 0.0
+            return sum(self.node_utilization(v) for v in used) / len(used)
+        loads = arrays.node_loads(placement_vec)
+        used_mask = arrays.used_node_mask(placement_vec)
+        if not used_mask.any():
             return 0.0
-        return sum(self.node_utilization(v) for v in used) / len(used)
+        capacities = arrays.A_v[used_mask]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            utilization = np.where(
+                capacities > 0.0, loads[used_mask] / capacities, 0.0
+            )
+        return float(utilization.sum() / used_mask.sum())
 
     def total_nodes_in_service(self) -> int:
         """Objective value of Eq. (14)."""
-        return len(self.nodes_in_service())
+        try:
+            placement_vec = self.arrays().placement_vector(self.placement)
+        except KeyError:
+            return len(self.nodes_in_service())
+        return int(self.arrays().used_node_mask(placement_vec).sum())

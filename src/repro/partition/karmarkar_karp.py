@@ -19,7 +19,6 @@ import heapq
 import itertools
 from typing import List, Optional, Sequence, Tuple
 
-from repro.exceptions import ValidationError
 from repro.partition.base import PartitionResult, TuplePartition, validate_instance
 
 

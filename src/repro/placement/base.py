@@ -23,12 +23,15 @@ is algorithm-specific in the paper, and so here:
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Mapping, Optional, Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Hashable, List, Mapping, Sequence
 
 from repro.exceptions import InfeasiblePlacementError, ValidationError
 from repro.nfv.chain import ServiceChain
 from repro.nfv.vnf import VNF
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.arrays import ScenarioArrays
 
 
 @dataclass(frozen=True)
@@ -59,6 +62,9 @@ class PlacementProblem:
         object.__setattr__(self, "vnfs", tuple(vnfs))
         object.__setattr__(self, "capacities", dict(capacities))
         object.__setattr__(self, "chains", tuple(chains))
+        object.__setattr__(
+            self, "_vnf_by_name", {f.name: f for f in self.vnfs}
+        )
         self._validate()
 
     def _validate(self) -> None:
@@ -66,15 +72,14 @@ class PlacementProblem:
             raise ValidationError("placement problem has no VNFs")
         if not self.capacities:
             raise ValidationError("placement problem has no compute nodes")
-        names = [f.name for f in self.vnfs]
-        if len(set(names)) != len(names):
+        if len(self._vnf_by_name) != len(self.vnfs):
             raise ValidationError("duplicate VNF names in placement problem")
         for node, cap in self.capacities.items():
             if cap <= 0.0:
                 raise ValidationError(
                     f"node {node!r}: capacity must be positive, got {cap!r}"
                 )
-        known = set(names)
+        known = self._vnf_by_name
         for chain in self.chains:
             for vnf_name in chain:
                 if vnf_name not in known:
@@ -83,11 +88,17 @@ class PlacementProblem:
                     )
 
     def vnf(self, name: str) -> VNF:
-        """Look up a VNF by name."""
-        for f in self.vnfs:
-            if f.name == name:
-                return f
-        raise ValidationError(f"unknown VNF {name!r}")
+        """Look up a VNF by name (O(1) via the cached name map)."""
+        try:
+            return self._vnf_by_name[name]
+        except KeyError:
+            raise ValidationError(f"unknown VNF {name!r}") from None
+
+    def arrays(self) -> "ScenarioArrays":
+        """The cached columnar view of this problem's VNF/node tables."""
+        from repro.core.arrays import ScenarioArrays, cached_arrays
+
+        return cached_arrays(self, ScenarioArrays.from_placement_problem)
 
     def total_demand(self) -> float:
         """Aggregate demand ``sum_f M_f D_f``."""
@@ -144,8 +155,16 @@ class PlacementResult:
     # ------------------------------------------------------------------
     # Derived state
     # ------------------------------------------------------------------
-    def node_loads(self) -> Dict[Hashable, float]:
-        """Placed demand per node (zero-load nodes omitted)."""
+    def _placement_vector(self):
+        """Node index per VNF (``np.ndarray``), or ``None`` when a
+        placement node is absent from the capacity map (scalar fallback
+        territory)."""
+        try:
+            return self.problem.arrays().placement_vector(self.placement)
+        except KeyError:
+            return None
+
+    def _node_loads_scalar(self) -> Dict[Hashable, float]:
         loads: Dict[Hashable, float] = {}
         for vnf in self.problem.vnfs:
             node = self.placement.get(vnf.name)
@@ -154,6 +173,25 @@ class PlacementResult:
             loads[node] = loads.get(node, 0.0) + vnf.total_demand
         return loads
 
+    def node_loads(self) -> Dict[Hashable, float]:
+        """Placed demand per node (zero-load nodes omitted).
+
+        Keys keep the legacy first-placed-VNF order; the per-node sums
+        come from one ``np.bincount`` over the columnar view.
+        """
+        placement_vec = self._placement_vector()
+        if placement_vec is None:
+            return self._node_loads_scalar()
+        arrays = self.problem.arrays()
+        loads = arrays.node_loads(placement_vec)
+        result: Dict[Hashable, float] = {}
+        for node_idx in placement_vec:
+            if node_idx >= 0:
+                node = arrays.node_keys[node_idx]
+                if node not in result:
+                    result[node] = float(loads[node_idx])
+        return result
+
     def used_nodes(self) -> List[Hashable]:
         """Nodes in service (``y_v = 1``)."""
         return list(self.node_loads().keys())
@@ -161,24 +199,44 @@ class PlacementResult:
     @property
     def num_used_nodes(self) -> int:
         """``sum_v y_v`` — the Eq. (14) objective."""
-        return len(self.node_loads())
+        placement_vec = self._placement_vector()
+        if placement_vec is None:
+            return len(self._node_loads_scalar())
+        arrays = self.problem.arrays()
+        return int(arrays.used_node_mask(placement_vec).sum())
 
     @property
     def average_utilization(self) -> float:
         """Eq. (13): mean of per-used-node load/capacity."""
-        loads = self.node_loads()
-        if not loads:
+        placement_vec = self._placement_vector()
+        if placement_vec is None:
+            loads = self._node_loads_scalar()
+            if not loads:
+                return 0.0
+            total = 0.0
+            for node, load in loads.items():
+                total += load / self.problem.capacities[node]
+            return total / len(loads)
+        arrays = self.problem.arrays()
+        used_mask = arrays.used_node_mask(placement_vec)
+        if not used_mask.any():
             return 0.0
-        total = 0.0
-        for node, load in loads.items():
-            total += load / self.problem.capacities[node]
-        return total / len(loads)
+        loads = arrays.node_loads(placement_vec)
+        utilization = loads[used_mask] / arrays.A_v[used_mask]
+        return float(utilization.sum() / used_mask.sum())
 
     @property
     def total_occupied_capacity(self) -> float:
         """Sum of ``A_v`` over used nodes (Fig. 9's "resource occupation")."""
-        return sum(
-            self.problem.capacities[node] for node in self.node_loads()
+        placement_vec = self._placement_vector()
+        if placement_vec is None:
+            return sum(
+                self.problem.capacities[node]
+                for node in self._node_loads_scalar()
+            )
+        arrays = self.problem.arrays()
+        return float(
+            arrays.A_v[arrays.used_node_mask(placement_vec)].sum()
         )
 
     def node_of(self, vnf_name: str) -> Hashable:

@@ -33,7 +33,6 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, List, Optional, Tuple
 
-import numpy as np
 
 from repro.exceptions import MaxRestartsExceededError
 from repro.placement.base import (

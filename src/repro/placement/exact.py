@@ -13,7 +13,7 @@ incumbent.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Dict, Hashable, List, Optional
 
 from repro.exceptions import InfeasiblePlacementError, ValidationError
 from repro.placement.base import (

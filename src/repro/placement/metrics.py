@@ -12,7 +12,7 @@ four quantities the paper's placement figures track:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Sequence
 
 from repro.placement.base import PlacementResult
 

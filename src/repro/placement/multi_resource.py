@@ -18,7 +18,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Mapping, Optional, Tuple
 
-import numpy as np
 
 from repro.exceptions import (
     InfeasiblePlacementError,

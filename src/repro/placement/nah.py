@@ -21,10 +21,9 @@ selection operations" cost the paper's Fig. 10 tracks (NAH ~3x BFDSU).
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Sequence
+from typing import Dict, Hashable, List, Optional
 
 from repro.exceptions import InfeasiblePlacementError
-from repro.nfv.chain import ServiceChain
 from repro.nfv.vnf import VNF
 from repro.placement.base import (
     PlacementAlgorithm,

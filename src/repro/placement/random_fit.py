@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Optional
 
-import numpy as np
 
 from repro.exceptions import InfeasiblePlacementError
 from repro.placement.base import (

@@ -35,11 +35,19 @@ from repro.queueing.littles_law import (
 )
 from repro.queueing.hypoexponential import HypoexponentialLatency
 from repro.queueing.mg1 import MG1Queue
-from repro.queueing.mm1 import MM1Queue
+from repro.queueing.mm1 import (
+    MM1Queue,
+    mm1_mean_numbers_in_system,
+    mm1_mean_response_times,
+    mm1_utilizations,
+)
 from repro.queueing.mmc import MMCQueue
 
 __all__ = [
     "MM1Queue",
+    "mm1_utilizations",
+    "mm1_mean_numbers_in_system",
+    "mm1_mean_response_times",
     "MMCQueue",
     "MG1Queue",
     "HypoexponentialLatency",

@@ -18,6 +18,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.exceptions import UnstableQueueError, ValidationError
 from repro.queueing import littles_law
 
@@ -155,3 +157,46 @@ class MM1Queue:
     def headroom(self) -> float:
         """Remaining service capacity ``mu - Lambda`` (may be negative)."""
         return self.service_rate - self.arrival_rate
+
+
+# ----------------------------------------------------------------------
+# Vectorized forms — one entry per service instance
+# ----------------------------------------------------------------------
+def mm1_utilizations(
+    arrival_rates: np.ndarray, service_rates: np.ndarray
+) -> np.ndarray:
+    """Elementwise ``rho = Lambda / mu`` (Eq. 9) over instance columns."""
+    return np.asarray(arrival_rates) / np.asarray(service_rates)
+
+
+def mm1_mean_numbers_in_system(
+    arrival_rates: np.ndarray, service_rates: np.ndarray
+) -> np.ndarray:
+    """Elementwise ``N = rho / (1 - rho)`` (Eq. 10); ``inf`` if unstable.
+
+    The arithmetic mirrors :attr:`MM1Queue.mean_number_in_system` op for
+    op, so stable entries are bit-identical to the scalar path.
+    """
+    rho = mm1_utilizations(arrival_rates, service_rates)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        n = rho / (1.0 - rho)
+    return np.where(rho < 1.0, n, np.inf)
+
+
+def mm1_mean_response_times(
+    arrival_rates: np.ndarray,
+    service_rates: np.ndarray,
+    external_rates: np.ndarray,
+) -> np.ndarray:
+    """Elementwise ``W = N / external`` (Eqs. 11/12); ``inf`` if unstable.
+
+    ``external_rates`` is the raw (pre-feedback) arrival rate the mean
+    packet count is amortized over, per Eq. (11).  Entries with a zero
+    external rate (idle instances, where ``W`` is undefined) come back
+    ``nan`` and must be masked by the caller.
+    """
+    n = mm1_mean_numbers_in_system(arrival_rates, service_rates)
+    external = np.asarray(external_rates, dtype=np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        w = n / external
+    return np.where(external > 0.0, w, np.nan)

@@ -14,13 +14,18 @@ instance, producing the ``(request_id, vnf_name) -> k`` map a
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Sequence, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
+
+import numpy as np
 
 from repro.exceptions import SchedulingError, ValidationError
 from repro.nfv.instance import ServiceInstance
 from repro.nfv.request import Request
 from repro.nfv.vnf import VNF
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.arrays import ScenarioArrays
 
 
 @dataclass(frozen=True)
@@ -73,6 +78,12 @@ class SchedulingProblem:
         """Per-request effective rates ``lambda_r / P_r`` — the MWNP values."""
         return [r.effective_rate for r in self.requests]
 
+    def arrays(self) -> "ScenarioArrays":
+        """The cached columnar view of this problem's request table."""
+        from repro.core.arrays import ScenarioArrays, cached_arrays
+
+        return cached_arrays(self, ScenarioArrays.from_scheduling_problem)
+
     def total_effective_rate(self) -> float:
         """``sum_r lambda_r / P_r`` across all requests of ``R_f``."""
         return sum(self.effective_rates())
@@ -115,8 +126,27 @@ class ScheduleResult:
         return table
 
     def instance_rates(self) -> List[float]:
-        """Per-instance equivalent arrival rates ``Lambda_k^f`` (Eq. 7)."""
-        return [inst.equivalent_arrival_rate for inst in self.instances()]
+        """Per-instance equivalent arrival rates ``Lambda_k^f`` (Eq. 7).
+
+        One ``np.bincount`` over the columnar request table; degenerate
+        assignments (missing or out-of-range ``k``) drop to the object
+        path so its legacy errors surface unchanged.
+        """
+        m = self.problem.num_instances
+        k = np.fromiter(
+            (
+                self.assignment.get(r.request_id, -1)
+                for r in self.problem.requests
+            ),
+            dtype=np.int64,
+            count=self.problem.num_requests,
+        )
+        if ((k < 0) | (k >= m)).any():
+            return [inst.equivalent_arrival_rate for inst in self.instances()]
+        rates = np.bincount(
+            k, weights=self.problem.arrays().eff_rate, minlength=m
+        )
+        return [float(rate) for rate in rates]
 
     def validate(self) -> None:
         """Check Eq. (5): every request mapped to exactly one valid instance.
@@ -172,9 +202,18 @@ def schedule_all_vnfs(
     maps ``(request_id, vnf_name) -> k`` and is directly consumable by
     :class:`~repro.nfv.state.DeploymentState`.
     """
+    # One pass over the requests builds the inverted U_r^f index; the
+    # old per-VNF membership scan was O(|F| * |R|).  Iterating requests
+    # in the outer loop keeps each VNF's user list in request order,
+    # exactly as the scan produced it.
+    users_by_vnf: Dict[str, List[Request]] = {}
+    for request in requests:
+        for vnf_name in request.chain:
+            users_by_vnf.setdefault(vnf_name, []).append(request)
+
     joint: Dict[Tuple[str, str], int] = {}
     for vnf in vnfs:
-        users = [r for r in requests if r.uses(vnf.name)]
+        users = users_by_vnf.get(vnf.name)
         if not users:
             continue
         result = algorithm.schedule(SchedulingProblem(vnf=vnf, requests=users))

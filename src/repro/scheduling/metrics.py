@@ -9,10 +9,11 @@ latency metrics; when asked it first applies admission control
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from dataclasses import dataclass
 
-from repro.exceptions import SchedulingError
+import numpy as np
+
+from repro.queueing.mm1 import mm1_mean_response_times
 from repro.scheduling.base import ScheduleResult
 
 
@@ -61,8 +62,56 @@ def schedule_report(
         ``rejection_rate``.  When False, an unstable instance makes the
         latency fields infinite (no steady state exists).
     """
+    problem = result.problem
+    if not apply_admission:
+        m = problem.num_instances
+        k = np.fromiter(
+            (
+                result.assignment.get(r.request_id, -1)
+                for r in problem.requests
+            ),
+            dtype=np.int64,
+            count=problem.num_requests,
+        )
+        if not ((k < 0) | (k >= m)).any():
+            arrays = problem.arrays()
+            equivalent = np.bincount(
+                k, weights=arrays.eff_rate, minlength=m
+            )
+            external = np.bincount(
+                k, weights=arrays.lambda_r, minlength=m
+            )
+            serving = np.bincount(k, minlength=m) > 0
+            mu = problem.vnf.service_rate
+            utilizations = equivalent / mu
+            if serving.any() and bool((utilizations[serving] < 1.0).all()):
+                response_times = mm1_mean_response_times(
+                    equivalent[serving], mu, external[serving]
+                )
+                average_w = float(
+                    response_times.sum() / len(response_times)
+                )
+                max_w = float(response_times.max())
+            else:
+                average_w = math.inf
+                max_w = math.inf
+            rates = tuple(float(rate) for rate in equivalent)
+            return ScheduleReport(
+                algorithm=result.algorithm,
+                instance_rates=rates,
+                utilizations=tuple(float(u) for u in utilizations),
+                average_response_time=average_w,
+                max_response_time=max_w,
+                makespan=max(rates) if rates else 0.0,
+                spread=(max(rates) - min(rates)) if rates else 0.0,
+                num_requests=problem.num_requests,
+                num_rejected=0,
+                iterations=result.iterations,
+            )
+        # Degenerate assignment: the object path raises legacy errors.
+
     instances = result.instances()
-    num_requests = result.problem.num_requests
+    num_requests = problem.num_requests
     num_rejected = 0
     if apply_admission:
         from repro.core.admission import apply_admission_control

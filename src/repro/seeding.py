@@ -23,7 +23,7 @@ experiment name) to a stable 32-bit child seed — the scheme behind
 from __future__ import annotations
 
 import zlib
-from typing import Optional, Sequence, Union
+from typing import Sequence, Union
 
 import numpy as np
 

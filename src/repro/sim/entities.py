@@ -8,8 +8,8 @@ model, but measured instead of solved.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Callable, Deque, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Deque, Optional
 
 import numpy as np
 

@@ -24,7 +24,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.exceptions import SimulationError, ValidationError
+from repro.exceptions import ValidationError
 from repro.nfv.request import Request
 from repro.nfv.vnf import VNF
 from repro.sim.engine import SimulationEngine

@@ -7,7 +7,7 @@ servers.  Provides the high bisection bandwidth the paper assumes.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence
+from typing import Callable, Optional
 
 from repro.exceptions import ValidationError
 from repro.topology.graph import (

@@ -10,7 +10,7 @@ of Eq. (16) — and a nominal bandwidth which the paper assumes plentiful.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List
 
 import networkx as nx
 

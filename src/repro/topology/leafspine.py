@@ -51,8 +51,8 @@ def leaf_spine(
         topo.add_switch(key)
         spines.append(key)
     server_index = 0
-    for l in range(num_leaves):
-        leaf = f"leaf{l}"
+    for leaf_index in range(num_leaves):
+        leaf = f"leaf{leaf_index}"
         topo.add_switch(leaf)
         for spine in spines:
             topo.add_link(leaf, spine, latency=link_latency)

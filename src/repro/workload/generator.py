@@ -17,10 +17,9 @@ experiment is reproducible from its seed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
 
 from repro.exceptions import ConfigurationError
 from repro.nfv.chain import MAX_CHAIN_LENGTH, ServiceChain

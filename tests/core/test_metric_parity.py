@@ -1,0 +1,274 @@
+"""Golden parity: vectorized metrics vs the pre-refactor scalar paths.
+
+The columnar :mod:`repro.core.arrays` refactor re-implemented every hot
+metric as numpy segment sums while promising bit-comparable results.
+These tests keep the pre-refactor scalar implementations as
+``_reference_*`` helpers and assert the vectorized public APIs agree to
+1e-12 relative error on randomized scenarios across seeds.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.evaluation import evaluate_deployment
+from repro.core.joint import JointOptimizer
+from repro.core.local_search import total_inter_node_hops
+from repro.core.objectives import (
+    average_response_latency,
+    per_request_response_time,
+    total_latency,
+)
+from repro.nfv.request import Request
+from repro.scheduling.base import SchedulingProblem
+from repro.scheduling.least_loaded import LeastLoadedScheduler
+from repro.scheduling.rckk import RCKKScheduler
+from repro.workload.generator import WorkloadGenerator
+
+RTOL = 1e-12
+
+SEEDS = [7, 99, 20170605]
+
+
+# ----------------------------------------------------------------------
+# Pre-refactor scalar implementations (verbatim semantics)
+# ----------------------------------------------------------------------
+def _reference_average_node_utilization(state):
+    used = state.nodes_in_service()
+    if not used:
+        return 0.0
+    return sum(state.node_utilization(v) for v in used) / len(used)
+
+
+def _reference_average_response_latency(state):
+    serving = [inst for inst in state.instances() if inst.requests]
+    if not all(inst.is_stable for inst in serving):
+        return math.inf
+    return sum(inst.mean_response_time for inst in serving) / len(serving)
+
+
+def _reference_per_request_response_time(state):
+    instance_w = {}
+    for inst in state.instances():
+        if inst.requests:
+            instance_w[inst.key] = (
+                inst.mean_response_time if inst.is_stable else math.inf
+            )
+    totals = {}
+    for request in state.requests:
+        total = 0.0
+        for vnf_name in request.chain:
+            k = state.schedule.get((request.request_id, vnf_name))
+            total += instance_w[(vnf_name, k)]
+        totals[request.request_id] = total
+    return totals
+
+
+def _reference_total_latency(state, link_latency):
+    response = _reference_per_request_response_time(state)
+    total = 0.0
+    for request in state.requests:
+        hops = state.inter_node_hops(request.request_id)
+        total += response[request.request_id] + hops * link_latency
+    return total
+
+
+def _reference_node_loads(result):
+    loads = {}
+    for vnf in result.problem.vnfs:
+        node = result.placement.get(vnf.name)
+        if node is None:
+            continue
+        loads[node] = loads.get(node, 0.0) + vnf.total_demand
+    return loads
+
+
+def _reference_average_utilization(result):
+    loads = _reference_node_loads(result)
+    if not loads:
+        return 0.0
+    total = 0.0
+    for node, load in loads.items():
+        capacity = result.problem.capacities[node]
+        total += load / capacity if capacity > 0 else 0.0
+    return total / len(loads)
+
+
+def _reference_instance_rates(result):
+    rates = [0.0] * result.problem.vnf.num_instances
+    for request in result.problem.requests:
+        k = result.assignment[request.request_id]
+        rates[k] += request.effective_rate
+    return rates
+
+
+def _reference_evaluate_no_admission(state, link_latency):
+    serving = [inst for inst in state.instances() if inst.requests]
+    if serving and all(i.is_stable for i in serving):
+        avg_w = sum(i.mean_response_time for i in serving) / len(serving)
+    else:
+        avg_w = math.inf
+    max_util = max((i.utilization for i in serving), default=0.0)
+    if math.isfinite(avg_w):
+        tot = _reference_total_latency(state, link_latency)
+        avg_tot = tot / len(state.requests) if state.requests else 0.0
+    else:
+        tot = math.inf
+        avg_tot = math.inf
+    return {
+        "average_node_utilization": _reference_average_node_utilization(state),
+        "nodes_in_service": len(state.nodes_in_service()),
+        "resource_occupation": sum(
+            state.node_capacities[v] for v in state.nodes_in_service()
+        ),
+        "average_response_latency": avg_w,
+        "max_instance_utilization": max_util,
+        "total_latency": tot,
+        "average_total_latency": avg_tot,
+    }
+
+
+# ----------------------------------------------------------------------
+# Scenario construction
+# ----------------------------------------------------------------------
+def _close(a, b):
+    if math.isinf(a) or math.isinf(b):
+        return a == b
+    return abs(a - b) <= RTOL * max(abs(a), abs(b), 1.0)
+
+
+def _workload(seed, num_requests=60, stable=True):
+    gen = WorkloadGenerator(np.random.default_rng(seed))
+    w = gen.workload(
+        num_vnfs=10,
+        num_nodes=8,
+        num_requests=num_requests,
+        instance_range=(4, 10),
+        delivery_probability=0.95,
+    )
+    if not stable:
+        return w.vnfs, w.requests, w.capacities
+    load = {f.name: 0.0 for f in w.vnfs}
+    for r in w.requests:
+        for name in r.chain:
+            load[name] += r.effective_rate
+    worst = max(
+        load[f.name] / (f.num_instances * f.service_rate) for f in w.vnfs
+    )
+    scale = min(1.0, 0.7 / worst)
+    requests = [
+        Request(r.request_id, r.chain, r.arrival_rate * scale,
+                r.delivery_probability)
+        for r in w.requests
+    ]
+    return w.vnfs, requests, w.capacities
+
+
+def _solved_state(seed, stable=True):
+    vnfs, requests, capacities = _workload(seed, stable=stable)
+    solution = JointOptimizer(scheduler=LeastLoadedScheduler()).optimize(
+        vnfs, requests, capacities
+    )
+    return solution
+
+
+# ----------------------------------------------------------------------
+# Parity assertions
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", SEEDS)
+class TestDeploymentMetricParity:
+    def test_average_node_utilization(self, seed):
+        state = _solved_state(seed).state
+        assert _close(
+            state.average_node_utilization(),
+            _reference_average_node_utilization(state),
+        )
+
+    def test_total_nodes_in_service(self, seed):
+        state = _solved_state(seed).state
+        assert state.total_nodes_in_service() == len(state.nodes_in_service())
+
+    def test_average_response_latency(self, seed):
+        state = _solved_state(seed).state
+        assert _close(
+            average_response_latency(state),
+            _reference_average_response_latency(state),
+        )
+
+    def test_per_request_response_time(self, seed):
+        state = _solved_state(seed).state
+        got = per_request_response_time(state)
+        want = _reference_per_request_response_time(state)
+        assert set(got) == set(want)
+        assert all(_close(got[r], want[r]) for r in want)
+
+    def test_total_latency(self, seed):
+        state = _solved_state(seed).state
+        assert _close(
+            total_latency(state, 0.25),
+            _reference_total_latency(state, 0.25),
+        )
+
+    def test_total_inter_node_hops(self, seed):
+        state = _solved_state(seed).state
+        assert total_inter_node_hops(state) == sum(
+            state.inter_node_hops(r.request_id) for r in state.requests
+        )
+
+    def test_evaluate_deployment_full_report(self, seed):
+        state = _solved_state(seed).state
+        got = evaluate_deployment(state, link_latency=0.1,
+                                  with_admission=False)
+        want = _reference_evaluate_no_admission(state, 0.1)
+        for field, expected in want.items():
+            assert _close(getattr(got, field), expected), field
+
+    def test_evaluate_unstable_reports_inf(self, seed):
+        # Unscaled workloads overload some instance for every seed here.
+        state = _solved_state(seed, stable=False).state
+        got = evaluate_deployment(state, link_latency=0.1,
+                                  with_admission=False)
+        want = _reference_evaluate_no_admission(state, 0.1)
+        for field, expected in want.items():
+            assert _close(getattr(got, field), expected), field
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestPhaseResultParity:
+    def test_placement_metrics(self, seed):
+        result = _solved_state(seed).placement_result
+        assert result.node_loads() == pytest.approx(
+            _reference_node_loads(result), rel=RTOL
+        )
+        assert _close(
+            result.average_utilization,
+            _reference_average_utilization(result),
+        )
+        assert result.num_used_nodes == len(_reference_node_loads(result))
+        assert _close(
+            result.total_occupied_capacity,
+            sum(
+                result.problem.capacities[v]
+                for v in _reference_node_loads(result)
+            ),
+        )
+
+    def test_instance_rates(self, seed):
+        vnfs, requests, _ = _workload(seed)
+        vnf = max(
+            vnfs, key=lambda f: sum(1 for r in requests if r.uses(f.name))
+        )
+        users = [r for r in requests if r.uses(vnf.name)]
+        if not users:
+            pytest.skip("no request uses the busiest VNF")
+        for scheduler in (LeastLoadedScheduler(), RCKKScheduler()):
+            result = scheduler.schedule(
+                SchedulingProblem(vnf=vnf, requests=users)
+            )
+            got = result.instance_rates()
+            want = _reference_instance_rates(result)
+            assert len(got) == len(want)
+            assert all(_close(g, w) for g, w in zip(got, want))

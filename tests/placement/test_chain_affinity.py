@@ -69,7 +69,6 @@ class TestPlacement:
         assert colocated >= 18
 
     def test_reduces_hops_vs_plain_on_average(self):
-        from repro.nfv.state import DeploymentState
 
         chains = [
             ServiceChain(["f0", "f1"]),

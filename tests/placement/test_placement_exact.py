@@ -52,8 +52,8 @@ class TestExact:
             loads = [0.0, 0.0, 0.0]
             for d, a in zip(demands, assign):
                 loads[a] += d
-            if all(l <= c for l, c in zip(loads, caps)):
-                used = sum(1 for l in loads if l > 0)
+            if all(load <= c for load, c in zip(loads, caps)):
+                used = sum(1 for load in loads if load > 0)
                 best = used if best is None else min(best, used)
         result = ExactPlacement().place(_problem(demands, caps))
         assert result.num_used_nodes == best

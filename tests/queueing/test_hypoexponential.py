@@ -1,6 +1,5 @@
 """Unit tests for hypoexponential chain-latency analytics."""
 
-import math
 
 import numpy as np
 import pytest

@@ -1,6 +1,5 @@
 """Unit tests for the open Jackson network solver and chain model."""
 
-import numpy as np
 import pytest
 
 from repro.exceptions import UnstableQueueError, ValidationError

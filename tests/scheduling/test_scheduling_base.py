@@ -137,3 +137,31 @@ class TestScheduleAllVnfs:
         requests = [Request("r0", ServiceChain(["fw"]), 1.0)]
         joint = schedule_all_vnfs([fw, idle], requests, RCKKScheduler())
         assert all(vnf == "fw" for (_, vnf) in joint)
+
+    @pytest.mark.parametrize("seed", [1, 42, 20170605])
+    def test_z_map_matches_quadratic_reference(self, seed):
+        """Regression: the single-pass inverted index must yield the
+        exact joint ``z`` map the old per-VNF request scan produced."""
+        import numpy as np
+
+        from repro.workload.generator import WorkloadGenerator
+
+        w = WorkloadGenerator(np.random.default_rng(seed)).workload(
+            num_vnfs=8, num_nodes=5, num_requests=40
+        )
+        scheduler = RCKKScheduler()
+
+        # Pre-refactor implementation: re-scan all requests per VNF.
+        reference = {}
+        for vnf in w.vnfs:
+            users = [r for r in w.requests if r.uses(vnf.name)]
+            if not users:
+                continue
+            result = scheduler.schedule(
+                SchedulingProblem(vnf=vnf, requests=users)
+            )
+            result.validate()
+            for request_id, k in result.assignment.items():
+                reference[(request_id, vnf.name)] = k
+
+        assert schedule_all_vnfs(w.vnfs, w.requests, scheduler) == reference
