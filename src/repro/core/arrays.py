@@ -129,6 +129,18 @@ class ScenarioArrays:
     #: fall back to the scalar path so legacy errors are preserved.
     chain_has_unknown: bool = False
 
+    # --- inverted chain views (static, lazily built) -----------------
+    #: Cached ``vnf_requests()`` CSR: (ptr, req) or ``None``.
+    _vnf_req_csr: Optional[Tuple[np.ndarray, np.ndarray]] = field(
+        default=None, repr=False
+    )
+    #: Cached ``vnf_chain_neighbors()`` CSR: (ptr, nbr) or ``None``.
+    _vnf_nbr_csr: Optional[Tuple[np.ndarray, np.ndarray]] = field(
+        default=None, repr=False
+    )
+    #: Cached ``node_str_rank()`` vector or ``None``.
+    _node_str_rank: Optional[np.ndarray] = field(default=None, repr=False)
+
     # ------------------------------------------------------------------
     # Builders
     # ------------------------------------------------------------------
@@ -372,6 +384,93 @@ class ScenarioArrays:
         return np.bincount(
             self.chain_req[1:][transition], minlength=len(self.request_ids)
         )
+
+    # ------------------------------------------------------------------
+    # Inverted chain views (delta evaluation, see docs/ARRAYS_CORE.md)
+    # ------------------------------------------------------------------
+    def vnf_requests(self) -> Tuple[np.ndarray, np.ndarray]:
+        """CSR of the inverted ``U_r^f`` incidence: VNF -> request indices.
+
+        Returns ``(ptr, req)`` where ``req[ptr[f]:ptr[f+1]]`` lists the
+        (ascending, deduplicated) indices of the requests whose chains
+        include VNF ``f``.  This is the touch set of a relocate move:
+        moving ``f`` can only change the hop counts of these requests.
+        Static — chains never change on an owner — so it is built once
+        and cached.  Entries with unknown VNF names (``chain_vnf < 0``)
+        are skipped; consumers must gate on ``chain_has_unknown``.
+        """
+        if self._vnf_req_csr is None:
+            num_vnfs = len(self.vnf_names)
+            known = self.chain_vnf >= 0
+            codes = np.unique(
+                self.chain_vnf[known] * np.int64(len(self.request_ids) + 1)
+                + self.chain_req[known]
+            )
+            vnf = codes // np.int64(len(self.request_ids) + 1)
+            req = codes % np.int64(len(self.request_ids) + 1)
+            ptr = np.zeros(num_vnfs + 1, dtype=np.int64)
+            np.cumsum(np.bincount(vnf, minlength=num_vnfs), out=ptr[1:])
+            self._vnf_req_csr = (ptr, req)
+        return self._vnf_req_csr
+
+    def vnf_chain_neighbors(self) -> Tuple[np.ndarray, np.ndarray]:
+        """CSR of chain-adjacent VNF pairs: VNF -> neighbor VNF indices.
+
+        Returns ``(ptr, nbr)`` where ``nbr[ptr[f]:ptr[f+1]]`` lists, with
+        multiplicity, the VNF index on the other side of every adjacent
+        same-request chain pair involving ``f`` exactly once (pairs of
+        ``f`` with itself transfer no hops and are dropped).  The hop
+        delta of relocating ``f`` from node ``s`` to node ``t`` is then
+
+            ``count(placement[nbr] == s) - count(placement[nbr] == t)``
+
+        — the entire Eq. (16) communication-term delta in two bincount
+        lookups.  Static per scenario; built once and cached.  Only
+        valid when ``chain_has_unknown`` is False.
+        """
+        if self._vnf_nbr_csr is None:
+            num_vnfs = len(self.vnf_names)
+            if len(self.chain_vnf) < 2:
+                empty = np.zeros(0, dtype=np.int64)
+                self._vnf_nbr_csr = (
+                    np.zeros(num_vnfs + 1, dtype=np.int64),
+                    empty,
+                )
+                return self._vnf_nbr_csr
+            a = self.chain_vnf[:-1]
+            b = self.chain_vnf[1:]
+            pair = (
+                (self.chain_req[1:] == self.chain_req[:-1])
+                & (a != b)
+                & (a >= 0)
+                & (b >= 0)
+            )
+            owners = np.concatenate([a[pair], b[pair]])
+            neighbors = np.concatenate([b[pair], a[pair]])
+            order = np.argsort(owners, kind="stable")
+            ptr = np.zeros(num_vnfs + 1, dtype=np.int64)
+            np.cumsum(np.bincount(owners, minlength=num_vnfs), out=ptr[1:])
+            self._vnf_nbr_csr = (ptr, neighbors[order])
+        return self._vnf_nbr_csr
+
+    def node_str_rank(self) -> np.ndarray:
+        """Rank of each node in the stable ``str(node_key)`` ordering.
+
+        ``node_str_rank()[i]`` is the position of ``node_keys[i]`` when
+        the keys are sorted by their string form — the deterministic
+        tie-break BFDSU's candidate ordering uses.  Static per scenario;
+        built once and cached.
+        """
+        if self._node_str_rank is None:
+            rank = np.empty(len(self.node_keys), dtype=np.int64)
+            rank[
+                sorted(
+                    range(len(self.node_keys)),
+                    key=lambda i: str(self.node_keys[i]),
+                )
+            ] = np.arange(len(self.node_keys))
+            self._node_str_rank = rank
+        return self._node_str_rank
 
     def response_per_request(
         self,

@@ -1,0 +1,271 @@
+"""Solver-scale sweep — legacy vs kernel wall-clock for the optimizers.
+
+The companion of :mod:`repro.experiments.scale_sweep`: that experiment
+tracks the columnar *evaluation* core, this one tracks the array-native
+*solver* kernels (PR 3) against the pre-kernel loops on the same growing
+workloads.  Three solver stages are timed per size:
+
+* BFDSU construction (Algorithm 1) — the kernel in
+  :mod:`repro.placement.bfdsu` vs a verbatim pre-kernel construction
+  (dict residuals, ``spare.remove``, per-draw ``str`` re-sort) kept
+  inline here because library code cannot import
+  ``benchmarks/_reference_impl``.  Both consume the identically-seeded
+  RNG, so the trial asserts placement equality as a live parity check.
+* Relocate local search — the delta kernel vs the full-recount hill
+  climb, which still ships as the library's scalar fallback
+  (``repro.core.local_search._refine_scalar``).
+* RCKK partitioning (Algorithm 2) — the flat-row kernel in
+  :mod:`repro.partition.kernels` vs the tuple-object
+  :func:`~repro.partition.karmarkar_karp.karmarkar_karp_multiway`.
+
+``benchmarks/bench_solvers.py`` is the matching two-point
+micro-benchmark with acceptance gates; this experiment records the
+*trajectory* — how the legacy/kernel gap scales with problem size — so
+the speedups land in the experiment reports next to Fig. 10's iteration
+costs.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Hashable, List, Tuple
+
+import numpy as np
+
+from repro.core.joint import JointOptimizer
+from repro.core.local_search import _refine_scalar, refine_placement
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.montecarlo import run_trials
+from repro.experiments.registry import ExperimentSpec, register
+from repro.experiments.scale_sweep import LINK_LATENCY, _stabilize
+from repro.partition.karmarkar_karp import karmarkar_karp_multiway
+from repro.partition.rckk import rckk_partition
+from repro.placement.base import PlacementProblem, demand_sorted_vnfs
+from repro.placement.bfdsu import BFDSUPlacement, WEIGHT_OFFSET
+from repro.scheduling.least_loaded import LeastLoadedScheduler
+from repro.seeding import derive_seed
+from repro.workload.generator import WorkloadGenerator
+
+#: Request counts swept; nodes scale as ``max(20, requests // 10)``
+#: exactly like :data:`repro.experiments.scale_sweep.SIZES`.
+SIZES = (250, 500, 1000, 2000)
+
+
+def _legacy_bfdsu_place(
+    problem: PlacementProblem,
+    rng: np.random.Generator,
+    max_restarts: int = 200,
+) -> Tuple[Dict[str, Hashable], int]:
+    """The pre-kernel BFDSU construction, verbatim semantics.
+
+    Dict residuals, linear ``spare.remove``, and a fresh
+    ``sorted(..., key=(residual, str(v)))`` per draw — the costs the
+    kernel removed.  Consumes the RNG in the same order as the kernel,
+    so the same seed yields the same placement and draw count.
+    """
+    vnfs = demand_sorted_vnfs(problem)
+    draws = 0
+    for _ in range(max_restarts + 1):
+        residual = dict(problem.capacities)
+        used: List[Hashable] = []
+        spare = list(problem.capacities.keys())
+        placement: Dict[str, Hashable] = {}
+        failed = False
+        for vnf in vnfs:
+            demand = vnf.total_demand
+            threshold = demand - 1e-9
+            candidates = [v for v in used if residual[v] >= threshold]
+            if not candidates:
+                candidates = [v for v in spare if residual[v] >= threshold]
+            if not candidates:
+                failed = True
+                break
+            draws += 1
+            ordered = sorted(candidates, key=lambda v: (residual[v], str(v)))
+            weights = [
+                1.0 / (WEIGHT_OFFSET + residual[v] - demand) for v in ordered
+            ]
+            xi = rng.uniform(0.0, sum(weights))
+            target = ordered[-1]
+            cumulative = 0.0
+            for node, weight in zip(ordered, weights):
+                cumulative += weight
+                if xi < cumulative:
+                    target = node
+                    break
+            placement[vnf.name] = target
+            residual[target] -= demand
+            if target in spare:
+                spare.remove(target)
+                used.append(target)
+        if not failed:
+            return placement, draws
+    raise RuntimeError("legacy BFDSU exhausted restarts")
+
+
+def _timed(fn) -> Tuple[object, float]:
+    start = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - start
+
+
+def _trial(task: Tuple[int, int, int]) -> dict:
+    """One (size, repetition): time each solver's legacy and kernel path."""
+    seed, rep, num_requests = task
+    gen = WorkloadGenerator(
+        np.random.default_rng(np.random.SeedSequence([seed, rep, num_requests]))
+    )
+    w = gen.workload(
+        num_vnfs=24,
+        num_nodes=max(20, num_requests // 10),
+        num_requests=num_requests,
+        instance_range=(8, 25),
+        tight_capacities=True,
+    )
+    requests = _stabilize(w.vnfs, w.requests)
+    draw_seed = derive_seed(seed, f"solver-sweep-{rep}-{num_requests}")
+
+    # --- BFDSU: identically-seeded RNGs, placements must agree. ---
+    problem = PlacementProblem(vnfs=w.vnfs, capacities=w.capacities)
+    # The columnar view is built once per scenario and shared by every
+    # pipeline stage (scheduling, evaluation, local search), so its
+    # construction is warmed out of the solver timings; one untimed
+    # warmup call also keeps first-call allocator noise out of the
+    # sub-millisecond paths.
+    problem.arrays()
+    BFDSUPlacement(rng=np.random.default_rng(draw_seed)).place(problem)
+    kernel = BFDSUPlacement(rng=np.random.default_rng(draw_seed))
+    kernel_result, bfdsu_kernel_s = _timed(lambda: kernel.place(problem))
+    _legacy_bfdsu_place(problem, np.random.default_rng(draw_seed))
+    (legacy_placement, legacy_draws), bfdsu_legacy_s = _timed(
+        lambda: _legacy_bfdsu_place(
+            problem, np.random.default_rng(draw_seed)
+        )
+    )
+    if (
+        legacy_placement != kernel_result.placement
+        or legacy_draws != kernel_result.iterations
+    ):
+        raise AssertionError(
+            "legacy/kernel BFDSU paths diverged "
+            f"(seed={draw_seed}, requests={num_requests})"
+        )
+
+    # --- Local search on a solved joint deployment. ---
+    solution = JointOptimizer(
+        scheduler=LeastLoadedScheduler(), link_latency=LINK_LATENCY
+    ).optimize(w.vnfs, requests, w.capacities)
+    state = solution.state
+    baseline = dict(state.placement)
+
+    def _restore() -> None:
+        state.placement.clear()
+        state.placement.update(baseline)
+
+    kernel_report, ls_kernel_s = _timed(
+        lambda: refine_placement(state, max_rounds=10)
+    )
+    _restore()
+    _, ls_legacy_s = _timed(lambda: _refine_scalar(state, 10, None))
+    _restore()
+
+    # --- RCKK over the request rates of the widest VNF. ---
+    rates = [r.effective_rate for r in requests]
+    num_ways = max(f.num_instances for f in w.vnfs)
+    rckk_partition(rates, num_ways)
+    _, rckk_kernel_s = _timed(lambda: rckk_partition(rates, num_ways))
+    karmarkar_karp_multiway(rates, num_ways)
+    _, rckk_legacy_s = _timed(
+        lambda: karmarkar_karp_multiway(rates, num_ways)
+    )
+
+    return {
+        "requests": num_requests,
+        "bfdsu_legacy_s": bfdsu_legacy_s,
+        "bfdsu_kernel_s": bfdsu_kernel_s,
+        "bfdsu_iterations": kernel_result.iterations,
+        "ls_legacy_s": ls_legacy_s,
+        "ls_kernel_s": ls_kernel_s,
+        "ls_moves": kernel_report.moves_applied,
+        "rckk_legacy_s": rckk_legacy_s,
+        "rckk_kernel_s": rckk_kernel_s,
+    }
+
+
+def run(
+    repetitions: int = 2, seed: int = 20170622, jobs: int = 1
+) -> ExperimentResult:
+    """Sweep workload sizes, averaging legacy/kernel timings."""
+    tasks = [
+        (seed, rep, size) for size in SIZES for rep in range(repetitions)
+    ]
+    trials = run_trials(_trial, tasks, jobs=jobs)
+
+    result = ExperimentResult(
+        experiment_id="solver_scale_sweep",
+        title="Solver wall-clock vs workload size (legacy vs kernels)",
+        columns=[
+            "requests",
+            "bfdsu_legacy_ms",
+            "bfdsu_kernel_ms",
+            "bfdsu_speedup",
+            "bfdsu_iterations",
+            "ls_legacy_ms",
+            "ls_kernel_ms",
+            "ls_speedup",
+            "ls_moves",
+            "rckk_legacy_ms",
+            "rckk_kernel_ms",
+            "rckk_speedup",
+        ],
+    )
+
+    def _mean(rows: List[dict], key: str) -> float:
+        return float(np.mean([t[key] for t in rows]))
+
+    for size in SIZES:
+        rows = [t for t in trials if t["requests"] == size]
+        bfdsu_legacy = _mean(rows, "bfdsu_legacy_s")
+        bfdsu_kernel = _mean(rows, "bfdsu_kernel_s")
+        ls_legacy = _mean(rows, "ls_legacy_s")
+        ls_kernel = _mean(rows, "ls_kernel_s")
+        rckk_legacy = _mean(rows, "rckk_legacy_s")
+        rckk_kernel = _mean(rows, "rckk_kernel_s")
+        result.add_row(
+            requests=size,
+            bfdsu_legacy_ms=bfdsu_legacy * 1e3,
+            bfdsu_kernel_ms=bfdsu_kernel * 1e3,
+            bfdsu_speedup=bfdsu_legacy / max(bfdsu_kernel, 1e-12),
+            bfdsu_iterations=_mean(rows, "bfdsu_iterations"),
+            ls_legacy_ms=ls_legacy * 1e3,
+            ls_kernel_ms=ls_kernel * 1e3,
+            ls_speedup=ls_legacy / max(ls_kernel, 1e-12),
+            ls_moves=_mean(rows, "ls_moves"),
+            rckk_legacy_ms=rckk_legacy * 1e3,
+            rckk_kernel_ms=rckk_kernel * 1e3,
+            rckk_speedup=rckk_legacy / max(rckk_kernel, 1e-12),
+        )
+    result.notes.append(
+        "timings are wall-clock and machine-dependent; compare shapes, "
+        "not absolute values (benchmarks/bench_solvers.py is the gated "
+        "two-point comparison); each trial asserts legacy/kernel BFDSU "
+        "placement equality as a live parity check"
+    )
+    return result
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="solver_scale_sweep",
+        title="Solver wall-clock vs workload size (legacy vs kernels)",
+        runner=run,
+        profile="joint",
+        tags=("performance", "beyond-paper"),
+        default_repetitions=2,
+        order=1901,
+    )
+)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run().print()

@@ -17,6 +17,9 @@ This package provides:
 * :mod:`repro.partition.rckk` — the paper's Reverse Complete
   Karmarkar-Karp heuristic (Algorithm 2), with provenance tracking so the
   request sets ``s_i`` fall out of the final partition.
+* :mod:`repro.partition.kernels` — the array-native multi-way KK kernel
+  (flat numpy value rows + a provenance merge tree) that RCKK runs on,
+  byte-identical to the tuple-based reference.
 * :mod:`repro.partition.exact` — exhaustive/branch-and-bound optimum for
   small instances, used to measure heuristic gaps in tests.
 """
@@ -30,6 +33,7 @@ from repro.partition.karmarkar_karp import (
     karmarkar_karp_multiway,
     karmarkar_karp_two_way,
 )
+from repro.partition.kernels import kk_multiway_kernel
 from repro.partition.rckk import rckk_partition
 
 __all__ = [
@@ -39,6 +43,7 @@ __all__ = [
     "complete_greedy_partition",
     "karmarkar_karp_two_way",
     "karmarkar_karp_multiway",
+    "kk_multiway_kernel",
     "ckk_two_way",
     "rckk_partition",
     "exact_partition",

@@ -1,0 +1,140 @@
+"""Array-native multi-way Karmarkar-Karp kernel (RCKK/CKK hot path).
+
+:func:`kk_multiway_kernel` re-implements
+:func:`repro.partition.karmarkar_karp.karmarkar_karp_multiway` on flat
+numpy state, producing the *identical* partition (same subsets, same
+within-subset index order, same iteration count) for every input:
+
+* Partition values are flat float64 rows (one live row per heap slot) —
+  a combine is ``a + b[::-1]`` (reverse alignment), a stable argsort of
+  the negated row (the same descending stable order as the legacy
+  ``sorted(key=-value)``) and a floor subtraction.  All float operations
+  happen in the legacy order, so heads and heap keys are bit-identical.
+* Provenance is a merge *tree* instead of tuple concatenation: each
+  occupied cell points at a node that is either a leaf (one original
+  index) or an internal pair ``(left, right)`` recording "left's indices
+  then right's indices".  The final subsets materialize with one
+  left-to-right traversal per way — exactly the order the legacy
+  ``a_idx + b_idx`` concatenation produced, without the O(subset)
+  copying per combine.
+* The heap holds ``(-head, counter, slot)`` triples with the same
+  insertion-counter tie-breaking as the legacy implementation, so the
+  combine sequence is identical.
+
+``tests/partition`` and ``tests/core/test_solver_kernel_parity.py`` pin
+kernel-vs-legacy equality; ``benchmarks/bench_solvers.py`` tracks the
+speedup.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.partition.base import PartitionResult, validate_instance
+
+
+def _resolve_subset(
+    root: int, node_left: List[int], node_right: List[int], num_leaves: int
+) -> List[int]:
+    """Collect a provenance tree's leaf indices in left-to-right order."""
+    if root < 0:
+        return []
+    out: List[int] = []
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node < num_leaves:
+            out.append(node)
+        else:
+            internal = node - num_leaves
+            # Push right first so left pops (and emits) first.
+            stack.append(node_right[internal])
+            stack.append(node_left[internal])
+    return out
+
+
+def kk_multiway_kernel(
+    values: Sequence[float],
+    num_ways: int,
+    reverse_combine: bool = True,
+) -> PartitionResult:
+    """Multi-way KK differencing on flat array state.
+
+    Drop-in replacement for
+    :func:`~repro.partition.karmarkar_karp.karmarkar_karp_multiway`
+    with byte-identical output; see the module docstring for the
+    representation.  ``reverse_combine=True`` is the paper's RCKK rule,
+    ``False`` the deliberately weaker forward-ablation rule.
+    """
+    validate_instance(values, num_ways)
+    n = len(values)
+    if n == 0:
+        return PartitionResult(
+            subsets=[[] for _ in range(num_ways)], values=[], iterations=0
+        )
+    if num_ways == 1:
+        return PartitionResult(
+            subsets=[list(range(n))], values=list(values), iterations=0
+        )
+
+    m = num_ways
+    # Slot i < n holds the singleton (values[i], 0, ..., 0); a combine
+    # frees two slots and writes one, so reusing slot ``a`` keeps the
+    # live set at n rows.  Rows are rebound (not copied) per combine.
+    seed_vals = np.zeros((n, m), dtype=np.float64)
+    seed_vals[:, 0] = np.asarray(values, dtype=np.float64)
+    seed_prov = np.full((n, m), -1, dtype=np.int64)
+    seed_prov[:, 0] = np.arange(n)
+    vals = list(seed_vals)
+    prov = list(seed_prov)
+
+    # Internal provenance nodes; node id ``n + j`` is pair j.
+    node_left: List[int] = []
+    node_right: List[int] = []
+
+    counter = itertools.count()
+    heap: List[Tuple[float, int, int]] = []
+    for i in range(n):
+        heapq.heappush(heap, (-seed_vals[i, 0], next(counter), i))
+
+    iterations = 0
+    while len(heap) > 1:
+        iterations += 1
+        _, _, a = heapq.heappop(heap)
+        _, _, b = heapq.heappop(heap)
+        a_prov = prov[a]
+        b_vals = vals[b][::-1] if reverse_combine else vals[b]
+        b_prov = prov[b][::-1] if reverse_combine else prov[b]
+
+        a_occ = a_prov >= 0
+        merged = np.where(a_occ, a_prov, b_prov)
+        pair_at = (a_occ & (b_prov >= 0)).nonzero()[0]
+        if len(pair_at):
+            base = n + len(node_left)
+            node_left.extend(a_prov.take(pair_at).tolist())
+            node_right.extend(b_prov.take(pair_at).tolist())
+            merged[pair_at] = np.arange(base, base + len(pair_at))
+
+        # Legacy normalized(): stable sort descending, subtract floor.
+        combined = vals[a] + b_vals
+        order = (-combined).argsort(kind="stable")
+        combined = combined.take(order)
+        combined -= combined[-1]
+        vals[a] = combined
+        prov[a] = merged.take(order)
+        heapq.heappush(heap, (-combined[0], next(counter), a))
+
+    _, _, final = heap[0]
+    subsets = [
+        _resolve_subset(int(root), node_left, node_right, n)
+        for root in prov[final]
+    ]
+    result = PartitionResult(
+        subsets=subsets, values=list(values), iterations=iterations
+    )
+    result.validate()
+    return result

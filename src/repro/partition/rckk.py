@@ -19,6 +19,12 @@ The "reverse" combine is what makes a single pass effective: out of the
 sorted-ascending greedily minimizes the combined spread, so RCKK reaches
 near-balanced partitions in ``O(n m log m)`` — the complexity the paper
 derives in Section IV-D.
+
+Both entry points run on the array-native kernel
+(:func:`repro.partition.kernels.kk_multiway_kernel`), which produces the
+identical partition to the tuple-based
+:func:`~repro.partition.karmarkar_karp.karmarkar_karp_multiway`; the
+latter stays as the legacy reference pinned by the kernel-parity tests.
 """
 
 from __future__ import annotations
@@ -26,7 +32,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.partition.base import PartitionResult
-from repro.partition.karmarkar_karp import karmarkar_karp_multiway
+from repro.partition.kernels import kk_multiway_kernel
 
 
 def rckk_partition(values: Sequence[float], num_ways: int) -> PartitionResult:
@@ -44,7 +50,7 @@ def rckk_partition(values: Sequence[float], num_ways: int) -> PartitionResult:
     PartitionResult
         Index subsets per instance; ``iterations`` counts combine steps.
     """
-    return karmarkar_karp_multiway(values, num_ways, reverse_combine=True)
+    return kk_multiway_kernel(values, num_ways, reverse_combine=True)
 
 
 def forward_ckk_partition(values: Sequence[float], num_ways: int) -> PartitionResult:
@@ -53,4 +59,4 @@ def forward_ckk_partition(values: Sequence[float], num_ways: int) -> PartitionRe
     Used by the ablation benchmarks to quantify how much of RCKK's
     advantage comes specifically from the reverse alignment.
     """
-    return karmarkar_karp_multiway(values, num_ways, reverse_combine=False)
+    return kk_multiway_kernel(values, num_ways, reverse_combine=False)

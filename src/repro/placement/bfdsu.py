@@ -27,12 +27,28 @@ performed — one per VNF placement decision, including the decisions of
 construction attempts later discarded by a restart.  This is the
 execution-cost proxy of the paper's Fig. 10: bounded below by ``|F|`` and
 growing with every "go back to Begin".
+
+Array-native kernel
+-------------------
+The construction loop runs on numpy state: a residual-capacity vector
+indexed like ``ScenarioArrays.node_keys``, a boolean used mask, and a
+per-place() stable node ordering (``str(node)`` ranks, computed once —
+the legacy path re-sorted candidates with ``str`` keys on every draw).
+Each draw finds the candidate set with one vectorized comparison,
+orders it by ``(residual, str rank)`` via ``np.lexsort`` and performs
+the weighted draw via ``cumsum``/``searchsorted``.  The RNG is consumed
+in exactly the legacy draw order — one ``uniform(0, sum(weights))`` per
+placement decision over the identically-ordered candidate list — so
+placements are byte-identical per seed to the pre-kernel implementation
+(kept as ``reference_bfdsu_place`` under ``benchmarks/_reference_impl``;
+parity is pinned by ``tests/core/test_solver_kernel_parity.py``).
 """
 
 from __future__ import annotations
 
 from typing import Dict, Hashable, List, Optional, Tuple
 
+import numpy as np
 
 from repro.exceptions import MaxRestartsExceededError
 from repro.placement.base import (
@@ -46,6 +62,9 @@ from repro.seeding import RngLike, resolve_rng
 #: The additive constant keeping the weight denominator nonzero (paper).
 WEIGHT_OFFSET = 1.0
 
+#: Capacity slack absorbing float accumulation error (matches Eq. 6).
+FIT_EPS = 1e-9
+
 
 def placement_weights(
     residuals: List[float], demand: float, offset: float = WEIGHT_OFFSET
@@ -58,8 +77,31 @@ def placement_weights(
     return [1.0 / (offset + rst - demand) for rst in residuals]
 
 
+def weighted_draw_index(
+    residuals: np.ndarray,
+    demand: float,
+    rng: np.random.Generator,
+    offset: float = WEIGHT_OFFSET,
+) -> int:
+    """Draw a position from ``residuals`` (ascending-RST candidate order).
+
+    The kernel form of Algorithm 1's lines 12-16: weights via
+    :func:`placement_weights` semantics, one ``uniform(0, sum(weights))``
+    RNG consumption, selection by ``searchsorted`` over the cumulative
+    weights.  The cumulative sum accumulates left-to-right exactly like
+    the legacy running total, so the same ``xi`` selects the same
+    position.  The floating-point edge ``xi == sum(weights)`` returns
+    the last candidate, as the legacy loop's fall-through did.
+    """
+    weights = 1.0 / (offset + residuals - demand)
+    cumulative = weights.cumsum()
+    xi = rng.uniform(0.0, float(cumulative[-1]))
+    pos = int(cumulative.searchsorted(xi, side="right"))
+    return min(pos, len(weights) - 1)
+
+
 class BFDSUPlacement(PlacementAlgorithm):
-    """The paper's BFDSU placement algorithm.
+    """The paper's BFDSU placement algorithm (array-native kernel).
 
     Parameters
     ----------
@@ -91,11 +133,20 @@ class BFDSUPlacement(PlacementAlgorithm):
     def place(self, problem: PlacementProblem) -> PlacementResult:
         problem.check_necessary_feasibility()
         vnfs = demand_sorted_vnfs(problem)
+        arrays = problem.arrays()
+        # Stable node ordering, cached with the scenario: candidates
+        # tie-break ascending by str(node) exactly as the legacy
+        # per-draw ``sorted(..., key=(residual, str(v)))`` did.
+        str_rank = arrays.node_str_rank()
+        demands = [vnf.total_demand for vnf in vnfs]
+
         attempts = 0
         draws = 0
         while attempts <= self._max_restarts:
             attempts += 1
-            placement, attempt_draws = self._attempt(problem, vnfs)
+            placement, attempt_draws = self._attempt(
+                arrays, vnfs, demands, str_rank
+            )
             draws += attempt_draws
             if placement is not None:
                 result = PlacementResult(
@@ -115,51 +166,71 @@ class BFDSUPlacement(PlacementAlgorithm):
     # One construction attempt (lines 1-18 of Algorithm 1)
     # ------------------------------------------------------------------
     def _attempt(
-        self, problem: PlacementProblem, vnfs: List
+        self,
+        arrays,
+        vnfs: List,
+        demands: List[float],
+        str_rank: np.ndarray,
     ) -> Tuple[Optional[Dict[str, Hashable]], int]:
-        residual: Dict[Hashable, float] = dict(problem.capacities)
-        used: List[Hashable] = []
-        used_set = set()
-        # Spare list keeps the problem's node order (deterministic scan).
-        spare: List[Hashable] = list(problem.capacities.keys())
+        num_nodes = len(arrays.node_keys)
+        offset = self._weight_offset
+        # Twin residual state: the numpy vector feeds the vectorized
+        # spare-node scans, the plain-float list the scalar used-node
+        # draws.  Both see the identical IEEE updates.
+        residual = arrays.A_v.copy()
+        res_list: List[float] = residual.tolist()
+        rank_list: List[int] = str_rank.tolist()
+        spare_mask = np.ones(num_nodes, dtype=bool)
+        used: List[int] = []  # first-use order, like the legacy list
         placement: Dict[str, Hashable] = {}
         draws = 0
 
-        for vnf in vnfs:
-            demand = vnf.total_demand
-            candidates = [v for v in used if residual[v] >= demand - 1e-9]
-            if not candidates:
-                candidates = [v for v in spare if residual[v] >= demand - 1e-9]
-            if not candidates:
-                # Line 9: "Go back to Begin" — the restart loop in place().
-                return None, draws
-            draws += 1
-            target = self._weighted_draw(candidates, residual, demand)
-            placement[vnf.name] = target
+        for vnf, demand in zip(vnfs, demands):
+            threshold = demand - FIT_EPS
+            cands = [v for v in used if res_list[v] >= threshold]
+            if cands:
+                draws += 1
+                # Used-node draws see a handful of candidates; the
+                # scalar path beats numpy's per-call overhead there and
+                # consumes the RNG identically (same ordering, same
+                # left-to-right weight accumulation).
+                cands.sort(key=lambda v: (res_list[v], rank_list[v]))
+                weights = [
+                    1.0 / (offset + res_list[v] - demand) for v in cands
+                ]
+                xi = self._rng.uniform(0.0, sum(weights))
+                target = cands[-1]
+                cumulative = 0.0
+                for node, weight in zip(cands, weights):
+                    cumulative += weight
+                    if xi < cumulative:
+                        target = node
+                        break
+            else:
+                # Spare fallback scans every node: vectorized compare,
+                # lexsort by the legacy (RST, str(node)) key, and the
+                # cumsum/searchsorted weighted draw.
+                candidates = (spare_mask & (residual >= threshold)).nonzero()[
+                    0
+                ]
+                if not len(candidates):
+                    # Line 9: "Go back to Begin" — the restart loop.
+                    return None, draws
+                draws += 1
+                order = candidates[
+                    np.lexsort((str_rank[candidates], residual[candidates]))
+                ]
+                target = int(
+                    order[
+                        weighted_draw_index(
+                            residual[order], demand, self._rng, offset
+                        )
+                    ]
+                )
+            placement[vnf.name] = arrays.node_keys[target]
             residual[target] -= demand
-            if target not in used_set:
-                used_set.add(target)
+            res_list[target] -= demand
+            if spare_mask[target]:
+                spare_mask[target] = False
                 used.append(target)
-                spare.remove(target)
         return placement, draws
-
-    def _weighted_draw(
-        self,
-        candidates: List[Hashable],
-        residual: Dict[Hashable, float],
-        demand: float,
-    ) -> Hashable:
-        """Lines 12-16: ascending-RST sort, weights, cumulative draw."""
-        ordered = sorted(candidates, key=lambda v: (residual[v], str(v)))
-        weights = placement_weights(
-            [residual[v] for v in ordered], demand, self._weight_offset
-        )
-        prob_sum = sum(weights)
-        xi = self._rng.uniform(0.0, prob_sum)
-        cumulative = 0.0
-        for node, weight in zip(ordered, weights):
-            cumulative += weight
-            if xi < cumulative:
-                return node
-        # Floating-point edge: xi == prob_sum; take the last candidate.
-        return ordered[-1]

@@ -13,11 +13,33 @@ rate — the quantity Eq. (12) says dominates the worst ``W(f,k)``).
 :class:`SwapRefinedScheduler` wraps any base scheduler with this
 refinement, giving an anytime upgrade path between RCKK and the exact
 search.
+
+Vectorized candidate scan
+-------------------------
+The legacy scan evaluated each (item, target[, partner]) candidate with
+a fresh ``max`` over all way sums.  The kernel computes every
+candidate's post-move makespan in one shot: with ``o(t)`` = the largest
+sum over ways other than ``worst`` and ``t`` (two-argmax trick), a move
+of rate ``r`` to ``t`` yields ``max(o(t), makespan - r, sums[t] + r)``
+and a swap with partner rate ``s`` yields
+``max(o(t), makespan + (s - r), sums[t] + (r - s))`` — each one numpy
+broadcast over the full candidate grid, laid out in the exact legacy
+enumeration order.  The legacy acceptance rule
+(``delta > best + 1e-12``, best updated on accept) only ever accepts
+strict prefix-maximum record breakers, so the kernel extracts the
+record breakers with a ``maximum.accumulate`` prefix scan and replays
+the margin rule on that short list — selecting the identical candidate,
+hence the identical move sequence and final assignment.  The legacy
+scan survives as ``reference_refine_assignment`` in
+``benchmarks/_reference_impl.py``, pinned by
+``tests/core/test_solver_kernel_parity.py``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
+
+import numpy as np
 
 from repro.exceptions import ValidationError
 from repro.scheduling.base import (
@@ -56,57 +78,106 @@ def refine_assignment(
     if max_rounds < 1:
         raise ValidationError(f"max_rounds must be >= 1, got {max_rounds!r}")
     current = list(assignment)
+    # Way sums stay an incrementally-updated Python float list with the
+    # legacy update expressions, so accumulated rounding is identical.
     sums = [0.0] * num_ways
     members: List[List[int]] = [[] for _ in range(num_ways)]
     for idx, way in enumerate(current):
         sums[way] += rates[idx]
         members[way].append(idx)
-
-    def makespan_with(changes: Dict[int, float]) -> float:
-        """Makespan if each way's sum moved by the given delta."""
-        return max(
-            sums[w] + changes.get(w, 0.0) for w in range(num_ways)
-        )
+    rates_arr = np.asarray(rates, dtype=np.float64)
 
     moves = 0
     for _ in range(max_rounds):
         worst = max(range(num_ways), key=lambda w: sums[w])
         makespan = sums[worst]
-        best_delta = 0.0
-        best_action: Optional[Tuple[str, int, int, int]] = None
-
-        for idx in members[worst]:
-            r = rates[idx]
-            for target in range(num_ways):
-                if target == worst:
-                    continue
-                # Move idx -> target.
-                delta = makespan - makespan_with({worst: -r, target: +r})
-                if delta > best_delta + 1e-12:
-                    best_delta = delta
-                    best_action = ("move", idx, -1, target)
-                # Swap idx with one item of target.
-                for jdx in members[target]:
-                    s = rates[jdx]
-                    if s >= r:
-                        continue  # swap must shrink the worst way
-                    delta = makespan - makespan_with(
-                        {worst: s - r, target: r - s}
-                    )
-                    if delta > best_delta + 1e-12:
-                        best_delta = delta
-                        best_action = ("swap", idx, jdx, target)
-
-        if best_action is None:
+        row_items = members[worst]
+        tlist = [t for t in range(num_ways) if t != worst]
+        if not row_items or not tlist:
             break
-        kind, idx, jdx, target = best_action
-        if kind == "move":
+
+        # o[t] = max sum over ways other than worst and t, via the
+        # top-two of the sums with worst masked out.
+        S = np.asarray(sums, dtype=np.float64)
+        t_arr = np.asarray(tlist, dtype=np.int64)
+        E = S.copy()
+        E[worst] = -np.inf
+        i1 = int(np.argmax(E))
+        top1 = float(E[i1])
+        E[i1] = -np.inf
+        top2 = float(E.max())
+        o = np.where(t_arr == i1, top2, top1)
+
+        # Candidate grid layout: one row per item of the worst way, and
+        # per target t a column block [move, swap(j) for j in members[t]]
+        # — C-order ravel of the grid is the legacy enumeration order.
+        R = rates_arr[row_items]
+        lens = np.asarray([len(members[t]) for t in tlist], dtype=np.int64)
+        j_all = np.asarray(
+            [j for t in tlist for j in members[t]], dtype=np.int64
+        )
+        block_sizes = 1 + lens
+        L = int(block_sizes.sum())
+        col_tpos = np.repeat(np.arange(len(tlist)), block_sizes)
+        pos_move = np.concatenate(([0], np.cumsum(block_sizes)[:-1]))
+        pos_swap = np.delete(np.arange(L), pos_move)
+
+        # Move idx -> t: max(o, makespan - r, sums[t] + r).
+        move_new = np.maximum(
+            o[None, :],
+            np.maximum((makespan - R)[:, None], S[t_arr][None, :] + R[:, None]),
+        )
+        move_delta = makespan - move_new
+
+        flat = np.empty((len(row_items), L), dtype=np.float64)
+        flat[:, pos_move] = move_delta
+        if len(j_all):
+            # Swap idx <-> jdx: max(o, makespan + (s - r), sums[t] + (r - s)),
+            # grouped exactly like the legacy change dict (s - r first).
+            s = rates_arr[j_all]
+            tpos_j = np.repeat(np.arange(len(tlist)), lens)
+            swap_new = np.maximum(
+                o[tpos_j][None, :],
+                np.maximum(
+                    makespan + (s[None, :] - R[:, None]),
+                    S[t_arr[tpos_j]][None, :] + (R[:, None] - s[None, :]),
+                ),
+            )
+            # Swaps must shrink the worst way (s < r); others never
+            # existed in the legacy enumeration.
+            flat[:, pos_swap] = np.where(
+                s[None, :] < R[:, None], makespan - swap_new, -np.inf
+            )
+
+        # Accepted candidates under the sequential margin rule are all
+        # strict prefix-max record breakers; replay the rule on just the
+        # record breakers (identical winner, see module docstring).
+        d = flat.ravel()
+        prev = np.concatenate(
+            ([-np.inf], np.maximum.accumulate(d)[:-1])
+        )
+        best_delta = 0.0
+        sel = -1
+        for i in np.flatnonzero(d > prev):
+            if d[i] > best_delta + 1e-12:
+                best_delta = float(d[i])
+                sel = int(i)
+        if sel < 0:
+            break
+
+        col = sel % L
+        idx = row_items[sel // L]
+        target = tlist[int(col_tpos[col])]
+        swap_pos = int(np.searchsorted(pos_swap, col))
+        is_move = not (swap_pos < len(pos_swap) and pos_swap[swap_pos] == col)
+        if is_move:
             members[worst].remove(idx)
             members[target].append(idx)
             sums[worst] -= rates[idx]
             sums[target] += rates[idx]
             current[idx] = target
         else:
+            jdx = int(j_all[swap_pos])
             members[worst].remove(idx)
             members[target].remove(jdx)
             members[worst].append(jdx)

@@ -230,3 +230,46 @@ class TestCaching:
         first = cached_arrays(owner, builder)
         assert cached_arrays(owner, builder) is first
         assert len(calls) == 1
+
+
+class TestInvertedChainViews:
+    """The PR-3 delta-evaluation CSRs (see docs/ARRAYS_CORE.md)."""
+
+    def test_vnf_requests_csr(self, arrays):
+        ptr, req = arrays.vnf_requests()
+        # fw: r0, r2; nat: r0, r1, r2; lb: r1 (deduplicated, ascending).
+        assert ptr.tolist() == [0, 2, 5, 6]
+        assert req.tolist() == [0, 2, 0, 1, 2, 1]
+
+    def test_vnf_requests_skips_unknown(self, vnfs, capacities):
+        ghost = Request("rx", ServiceChain(["ghost", "fw"]), 5.0)
+        arrays = ScenarioArrays.build(vnfs, [ghost], capacities)
+        ptr, req = arrays.vnf_requests()
+        assert ptr.tolist() == [0, 1, 1, 1]
+        assert req.tolist() == [0]
+
+    def test_vnf_chain_neighbors_csr(self, arrays):
+        ptr, nbr = arrays.vnf_chain_neighbors()
+        # Transitions: r0 fw-nat, r1 nat-lb, r2 fw-nat.  Each side of a
+        # pair owns the other with multiplicity.
+        assert ptr.tolist() == [0, 2, 5, 6]
+        assert nbr.tolist() == [1, 1, 2, 0, 0, 1]
+
+    def test_vnf_chain_neighbors_short_chain(self, vnfs, capacities):
+        single = Request("r0", ServiceChain(["fw"]), 5.0)
+        arrays = ScenarioArrays.build(vnfs, [single], capacities)
+        ptr, nbr = arrays.vnf_chain_neighbors()
+        assert ptr.tolist() == [0, 0, 0, 0]
+        assert len(nbr) == 0
+
+    def test_csrs_are_cached(self, arrays):
+        assert arrays.vnf_requests() is arrays.vnf_requests()
+        assert arrays.vnf_chain_neighbors() is arrays.vnf_chain_neighbors()
+        assert arrays.node_str_rank() is arrays.node_str_rank()
+
+    def test_node_str_rank_orders_by_string(self, vnfs, requests):
+        arrays = ScenarioArrays.build(
+            vnfs, requests, {"n10": 50.0, "n2": 40.0}
+        )
+        # str order: "n10" < "n2", so n10 ranks 0 and n2 ranks 1.
+        assert arrays.node_str_rank().tolist() == [0, 1]

@@ -1,0 +1,127 @@
+"""Golden parity: array-native solver kernels vs the legacy loops.
+
+The PR-3 kernels (BFDSU residual-vector construction, flat-array RCKK,
+delta-evaluated local search, broadcast swap refinement) must be
+*byte-identical* to the pre-kernel implementations preserved under
+``benchmarks/_reference_impl.py`` — same placements, same assignments,
+same move sequences, same iteration counts — for the default seed and
+ten derived seeds.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "benchmarks"))
+
+from _reference_impl import (  # noqa: E402
+    ReferenceBFDSU,
+    reference_kk_multiway,
+    reference_refine_assignment,
+    reference_refine_placement,
+)
+from bench_core import build_scenario  # noqa: E402
+from repro.core.local_search import refine_placement  # noqa: E402
+from repro.partition.rckk import (  # noqa: E402
+    forward_ckk_partition,
+    rckk_partition,
+)
+from repro.placement.base import PlacementProblem  # noqa: E402
+from repro.placement.bfdsu import BFDSUPlacement  # noqa: E402
+from repro.scheduling.swap_refine import refine_assignment  # noqa: E402
+from repro.seeding import DEFAULT_SEED, derive_seed  # noqa: E402
+from repro.workload.generator import WorkloadGenerator  # noqa: E402
+
+SEEDS = [DEFAULT_SEED] + [
+    derive_seed(DEFAULT_SEED, f"solver-parity-{i}") for i in range(10)
+]
+
+
+@pytest.fixture(scope="module", params=SEEDS)
+def seed(request):
+    return request.param
+
+
+@pytest.fixture(scope="module")
+def workload(seed):
+    gen = WorkloadGenerator(rng=np.random.default_rng(seed))
+    return gen.workload(
+        num_vnfs=8,
+        num_nodes=15,
+        num_requests=60,
+        instance_range=(2, 6),
+        tight_capacities=True,
+    )
+
+
+class TestBFDSUParity:
+    def test_identical_placement_and_iterations(self, seed, workload):
+        problem = PlacementProblem(
+            vnfs=workload.vnfs, capacities=workload.capacities
+        )
+        kernel = BFDSUPlacement(rng=np.random.default_rng(seed)).place(
+            problem
+        )
+        legacy = ReferenceBFDSU(rng=np.random.default_rng(seed)).place(
+            problem
+        )
+        assert kernel.placement == legacy.placement
+        assert kernel.iterations == legacy.iterations
+
+
+class TestRCKKParity:
+    @pytest.mark.parametrize("num_ways", [1, 3, 7])
+    def test_identical_subsets_and_iterations(
+        self, seed, workload, num_ways
+    ):
+        rates = [r.effective_rate for r in workload.requests]
+        kernel = rckk_partition(rates, num_ways)
+        legacy = reference_kk_multiway(
+            rates, num_ways, reverse_combine=True
+        )
+        assert kernel.subsets == legacy.subsets
+        assert kernel.iterations == legacy.iterations
+
+    def test_forward_ablation_identical(self, seed, workload):
+        rates = [r.effective_rate for r in workload.requests]
+        kernel = forward_ckk_partition(rates, 4)
+        legacy = reference_kk_multiway(rates, 4, reverse_combine=False)
+        assert kernel.subsets == legacy.subsets
+        assert kernel.iterations == legacy.iterations
+
+
+class TestLocalSearchParity:
+    def test_identical_moves_report_and_placement(self, seed):
+        solution, _, _ = build_scenario(60, 15, 8, seed=seed)
+        state = solution.state
+        baseline = dict(state.placement)
+
+        kernel_trace = []
+        kernel_report = refine_placement(state, trace=kernel_trace)
+        kernel_final = dict(state.placement)
+
+        state.placement.clear()
+        state.placement.update(baseline)
+        legacy_trace = []
+        legacy_report = reference_refine_placement(
+            state, trace=legacy_trace
+        )
+        legacy_final = dict(state.placement)
+
+        assert kernel_trace == legacy_trace
+        assert kernel_report == legacy_report
+        assert kernel_final == legacy_final
+
+
+class TestSwapRefineParity:
+    def test_identical_assignment_and_moves(self, seed, workload):
+        rates = [r.effective_rate for r in workload.requests]
+        num_ways = max(f.num_instances for f in workload.vnfs)
+        start = [i % num_ways for i in range(len(rates))]
+        assert refine_assignment(
+            rates, start, num_ways
+        ) == reference_refine_assignment(rates, start, num_ways)

@@ -1,0 +1,90 @@
+"""Statistical and edge-case tests for the BFDSU weighted draw.
+
+Satellite of the solver-kernel PR: the ``cumsum``/``searchsorted`` draw
+must (a) realize the ``placement_weights`` distribution — checked with a
+chi-square goodness-of-fit test over many seeds — and (b) return the
+*last* candidate on the floating-point edge ``xi == prob_sum``, exactly
+like the legacy loop's fall-through.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nfv.vnf import VNF
+from repro.placement.base import PlacementProblem
+from repro.placement.bfdsu import (
+    BFDSUPlacement,
+    placement_weights,
+    weighted_draw_index,
+)
+
+#: Critical value of the chi-square distribution, df=3, alpha=0.001.
+CHI2_CRIT_DF3_P999 = 16.266
+
+
+class TestDrawDistribution:
+    def test_frequencies_match_placement_weights(self):
+        """Empirical draw frequencies ~ P_rst over many seeded streams."""
+        residuals = np.array([5.0, 6.0, 8.0, 10.0])
+        demand = 5.0
+        weights = placement_weights(list(residuals), demand)
+        probs = np.asarray(weights) / sum(weights)
+
+        draws_per_seed = 2000
+        counts = np.zeros(len(residuals), dtype=np.int64)
+        for seed in range(10):
+            rng = np.random.default_rng(seed)
+            for _ in range(draws_per_seed):
+                counts[weighted_draw_index(residuals, demand, rng)] += 1
+
+        total = counts.sum()
+        assert total == 10 * draws_per_seed
+        expected = probs * total
+        chi2 = float(((counts - expected) ** 2 / expected).sum())
+        assert chi2 < CHI2_CRIT_DF3_P999, (
+            f"chi-square {chi2:.2f} exceeds the df=3 p=0.999 critical "
+            f"value; counts={counts.tolist()}, expected={expected.tolist()}"
+        )
+
+    def test_tightest_candidate_most_frequent(self):
+        residuals = np.array([3.0, 30.0])
+        rng = np.random.default_rng(123)
+        counts = [0, 0]
+        for _ in range(500):
+            counts[weighted_draw_index(residuals, 3.0, rng)] += 1
+        assert counts[0] > counts[1]
+
+
+class _EdgeRng:
+    """Stub rng whose uniform(lo, hi) always lands on the upper bound."""
+
+    def uniform(self, low, high):
+        return high
+
+
+class TestUpperBoundEdge:
+    def test_xi_equal_prob_sum_returns_last(self):
+        residuals = np.array([5.0, 6.0, 8.0, 10.0])
+        pos = weighted_draw_index(residuals, 5.0, _EdgeRng())
+        assert pos == len(residuals) - 1
+
+    def test_single_candidate(self):
+        assert weighted_draw_index(np.array([7.0]), 7.0, _EdgeRng()) == 0
+
+    def test_construction_with_edge_rng_takes_loosest_candidate(self):
+        """End-to-end: xi == prob_sum on every draw picks the last
+        (largest-residual) candidate in both the scalar used-node path
+        and the vectorized spare path."""
+        vnfs = [VNF("f0", 4.0, 1, 100.0), VNF("f1", 3.0, 1, 100.0)]
+        problem = PlacementProblem(
+            vnfs=vnfs, capacities={"n0": 10.0, "n1": 9.0}
+        )
+        alg = BFDSUPlacement(rng=np.random.default_rng(0))
+        alg._rng = _EdgeRng()
+        result = alg.place(problem)
+        # First draw (spare path): candidates sorted ascending by
+        # residual are [n1: 9, n0: 10]; the edge picks n0.  Second draw
+        # (used path): n0 still fits, the single candidate wins.
+        assert result.placement == {"f0": "n0", "f1": "n0"}
+        assert result.iterations == 2
