@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-core bench-solvers lint experiments examples ci clean
+.PHONY: install test bench bench-core bench-solvers bench-sim lint experiments examples ci clean
 
 PYTHON ?= python
 
@@ -12,10 +12,13 @@ bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 bench-core:
-	PYTHONPATH=src $(PYTHON) benchmarks/bench_core.py --out bench_core.json
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_core.py --out benchmarks/bench_core.json
 
 bench-solvers:
-	PYTHONPATH=src $(PYTHON) benchmarks/bench_solvers.py --out bench_solvers.json
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_solvers.py --out benchmarks/bench_solvers.json
+
+bench-sim:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_sim.py --out benchmarks/bench_sim.json
 
 # Lint via ruff when available (config in pyproject.toml); the runtime
 # image ships without it, so the gate degrades to a skip, not a failure.
@@ -35,8 +38,9 @@ experiments-paper:
 ci: lint
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 	PYTHONPATH=src $(PYTHON) -m repro.experiments.runall --only fig05 --jobs 2 --seed 7
-	PYTHONPATH=src $(PYTHON) benchmarks/bench_core.py --quick --out bench_core.json
-	PYTHONPATH=src $(PYTHON) benchmarks/bench_solvers.py --quick --out bench_solvers.json
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_core.py --quick --out benchmarks/bench_core.json
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_solvers.py --quick --out benchmarks/bench_solvers.json
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_sim.py --quick --out benchmarks/bench_sim.json
 
 examples:
 	@for f in examples/*.py; do echo "== $$f =="; $(PYTHON) $$f; echo; done

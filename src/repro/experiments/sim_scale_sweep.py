@@ -1,0 +1,170 @@
+"""Simulation-scale sweep — events-vs-trace wall clock as load grows.
+
+The Jackson-network validator got a second, array-native backend
+(:mod:`repro.sim.trace`): pre-sampled traces pushed through Lindley
+kernels instead of a per-packet event loop.  This experiment runs both
+backends on the same growing scenarios and records their wall-clock
+trajectories plus the statistics they must agree on, so the speedup —
+and the distributional parity backing it — shows up as a curve rather
+than a one-off benchmark claim (``benchmarks/bench_sim.py`` is the
+matching micro-benchmark with the large default scenario).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict, List, Tuple
+
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.montecarlo import run_trials
+from repro.experiments.registry import ExperimentSpec, register
+from repro.nfv.chain import ServiceChain
+from repro.nfv.request import Request
+from repro.nfv.vnf import VNF
+from repro.queueing.feedback import effective_arrival_rates
+from repro.sim.simulator import ChainSimulator, SimulationConfig
+
+#: Request counts swept.
+SIZES = (25, 50, 100)
+
+#: Per-request Poisson rate (packets/s).
+RATE = 4.0
+
+#: Per-instance exponential service rate.
+MU = 120.0
+
+#: End-to-end delivery probability (exercises the feedback rounds).
+DELIVERY_P = 0.98
+
+#: VNF catalog size and per-request chain length.
+NUM_VNFS, CHAIN_LEN = 6, 3
+
+#: Target per-instance utilization used to size instance counts.
+TARGET_RHO = 0.6
+
+
+def build_scenario(
+    num_requests: int,
+) -> Tuple[List[VNF], List[Request], Dict[Tuple[str, str], int]]:
+    """A deterministic chained scenario sized for stable instances.
+
+    Requests take length-``CHAIN_LEN`` chains cyclically over the VNF
+    catalog and spread round-robin over each VNF's instances; instance
+    counts come from the Eq. (7) effective rates so every instance
+    sits near ``TARGET_RHO``.
+    """
+    names = [f"v{j}" for j in range(NUM_VNFS)]
+    chains = [
+        [names[(i + d) % NUM_VNFS] for d in range(CHAIN_LEN)]
+        for i in range(num_requests)
+    ]
+    effective = effective_arrival_rates(
+        [RATE] * num_requests, [DELIVERY_P] * num_requests
+    )
+    offered = {name: 0.0 for name in names}
+    for chain, rate in zip(chains, effective):
+        for name in chain:
+            offered[name] += float(rate)
+    vnfs = [
+        VNF(
+            name,
+            1.0,
+            max(1, math.ceil(offered[name] / (TARGET_RHO * MU))),
+            MU,
+        )
+        for name in names
+    ]
+    instances = {f.name: f.num_instances for f in vnfs}
+    requests = []
+    schedule: Dict[Tuple[str, str], int] = {}
+    counters = {name: 0 for name in names}
+    for i, chain in enumerate(chains):
+        rid = f"r{i:04d}"
+        requests.append(
+            Request(rid, ServiceChain(chain), RATE, delivery_probability=DELIVERY_P)
+        )
+        for name in chain:
+            schedule[(rid, name)] = counters[name] % instances[name]
+            counters[name] += 1
+    return vnfs, requests, schedule
+
+
+def _trial(task: Tuple[int, float, int]) -> dict:
+    """Run both backends on one scenario size; time each."""
+    num_requests, horizon, seed = task
+    vnfs, requests, schedule = build_scenario(num_requests)
+    config = SimulationConfig(
+        duration=horizon, warmup=0.1 * horizon, seed=seed
+    )
+    measurements = {}
+    for backend in ("events", "trace"):
+        sim = ChainSimulator(vnfs, requests, schedule, config, backend=backend)
+        start = time.perf_counter()
+        metrics = sim.run()
+        measurements[backend] = {
+            "wall_s": time.perf_counter() - start,
+            "latency": metrics.mean_end_to_end(),
+            "delivery_ratio": metrics.total_delivered / max(1, metrics.generated),
+        }
+    return {"requests": num_requests, **{
+        f"{backend}_{field}": value
+        for backend, fields in measurements.items()
+        for field, value in fields.items()
+    }}
+
+
+def run(
+    horizon: float = 25.0, seed: int = 20170621, jobs: int = 1
+) -> ExperimentResult:
+    """Sweep scenario sizes; one trial per size on both backends."""
+    tasks = [(size, horizon, seed) for size in SIZES]
+    trials = run_trials(_trial, tasks, jobs=jobs)
+
+    result = ExperimentResult(
+        experiment_id="sim_scale_sweep",
+        title="Simulation wall-clock vs scale (event loop vs trace kernels)",
+        columns=[
+            "requests",
+            "events_ms",
+            "trace_ms",
+            "speedup",
+            "events_latency",
+            "trace_latency",
+        ],
+    )
+    for trial in trials:
+        result.add_row(
+            requests=trial["requests"],
+            events_ms=trial["events_wall_s"] * 1e3,
+            trace_ms=trial["trace_wall_s"] * 1e3,
+            speedup=trial["events_wall_s"] / max(trial["trace_wall_s"], 1e-12),
+            events_latency=trial["events_latency"],
+            trace_latency=trial["trace_latency"],
+        )
+    result.notes.append(
+        "both backends simulate the same scenario from the same seed; "
+        "latencies agree in distribution, not sample-by-sample (see "
+        "docs/SIM_BACKENDS.md for the parity contract)"
+    )
+    result.notes.append(
+        "timings are wall-clock and machine-dependent; compare shapes "
+        "(benchmarks/bench_sim.py is the gated large-scale comparison)"
+    )
+    return result
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="sim_scale_sweep",
+        title="Simulation wall-clock vs scale (event loop vs trace kernels)",
+        runner=run,
+        profile="analytic",
+        tags=("performance", "simulation", "beyond-paper"),
+        order=1950,
+    )
+)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run().print()

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence, Tuple
 
+import numpy as np
+
 from repro.exceptions import ValidationError
 
 
@@ -85,6 +87,31 @@ def expected_transmissions(delivery_probability: float) -> float:
     """
     validate_delivery_probability(delivery_probability)
     return 1.0 / delivery_probability
+
+
+def effective_arrival_rates(
+    external_rates: Sequence[float],
+    delivery_probabilities: Sequence[float],
+) -> np.ndarray:
+    """Vectorized :func:`effective_arrival_rate` — one entry per request.
+
+    The columnar form of Eq. (7)'s ingredients, ``lambda_r / P_r``;
+    the trace-driven simulation backend and its benchmarks use it to
+    size scenarios and cross-check measured utilizations against the
+    closed form.
+    """
+    lam = np.asarray(external_rates, dtype=np.float64)
+    p = np.asarray(delivery_probabilities, dtype=np.float64)
+    if lam.shape != p.shape:
+        raise ValidationError(
+            f"rate and probability columns must align, got shapes "
+            f"{lam.shape} and {p.shape}"
+        )
+    if np.any(lam < 0.0):
+        raise ValidationError("external arrival rates must be non-negative")
+    if np.any((p <= 0.0) | (p > 1.0)):
+        raise ValidationError("delivery probabilities must be in (0, 1]")
+    return lam / p
 
 
 def aggregate_external_rate(rates: Sequence[float]) -> float:

@@ -12,21 +12,32 @@ DESIGN.md (abl-jackson):
 * :mod:`repro.sim.simulator` — :class:`ChainSimulator`: requests flow
   through their chains' scheduled instances, with end-to-end loss and
   NACK retransmission feedback.
+* :mod:`repro.sim.kernels` — array-native FCFS kernels (the Lindley
+  recurrence) shared by the trace backend and the sensitivity sweeps.
+* :mod:`repro.sim.trace` — the trace-driven backend: pre-sampled
+  arrival/service arrays replayed per chain hop and feedback round
+  (``ChainSimulator(..., backend="trace")``); see docs/SIM_BACKENDS.md.
 * :mod:`repro.sim.metrics` — measurement collectors (per-instance
   sojourn, utilization; per-request end-to-end latency).
 """
 
 from repro.sim.engine import SimulationEngine
 from repro.sim.events import Event, EventQueue
+from repro.sim.kernels import fcfs_sojourn_times, lindley_departure_times
 from repro.sim.metrics import InstanceStats, SimulationMetrics
-from repro.sim.simulator import ChainSimulator, SimulationConfig
+from repro.sim.simulator import BACKENDS, ChainSimulator, SimulationConfig
+from repro.sim.trace import run_trace_simulation
 
 __all__ = [
     "Event",
     "EventQueue",
     "SimulationEngine",
+    "BACKENDS",
     "ChainSimulator",
     "SimulationConfig",
     "SimulationMetrics",
     "InstanceStats",
+    "fcfs_sojourn_times",
+    "lindley_departure_times",
+    "run_trace_simulation",
 ]

@@ -33,8 +33,16 @@ class SimulationEngine:
         return self._dispatched
 
     def schedule(self, time: float, action: Callable[[], None]) -> None:
-        """Schedule ``action`` at absolute time ``time`` (>= now)."""
-        if time < self._now - 1e-12:
+        """Schedule ``action`` at absolute time ``time`` (>= now).
+
+        Times a hair before ``now`` are clamped to ``now`` rather than
+        rejected, with a slack *relative* to the clock: float arithmetic
+        on long horizons (``now >> 1``) loses absolute precision, so an
+        absolute epsilon would misclassify rounding noise as genuine
+        past-scheduling (or vice versa) once ``now`` is large.
+        """
+        tolerance = 1e-12 * max(1.0, abs(self._now))
+        if time < self._now - tolerance:
             raise SimulationError(
                 f"cannot schedule into the past: {time:.6g} < now={self._now:.6g}"
             )

@@ -1,0 +1,150 @@
+"""Array-native FCFS queueing kernels (the Lindley recurrence).
+
+The trace-driven simulation backend (:mod:`repro.sim.trace`) replaces
+the per-packet event loop with whole-array computations over
+pre-sampled arrival and service times.  Its core is the classic
+Lindley / max-prefix identity for a single FCFS server: with arrival
+(availability) times ``A`` in service order and per-packet service
+times ``S``, the recurrence
+
+    ``D_m = max(A_m, D_{m-1}) + S_m``
+
+unrolls to
+
+    ``D_m = cumS_m + max_{j <= m} (A_j - cumS_{j-1})``
+
+— one ``cumsum`` and one ``maximum.accumulate``, O(n) with no
+Python-level iteration over packets.
+
+Everything here is a pure function of arrays; the backend in
+:mod:`repro.sim.trace` owns RNG streams, chain routing and feedback
+rounds, and :mod:`repro.experiments.sensitivity` drives
+:func:`fcfs_sojourn_times` directly on MMPP traces.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+
+
+def lindley_departure_times(
+    arrivals: np.ndarray, services: np.ndarray
+) -> np.ndarray:
+    """FCFS departure times of one single-server pass.
+
+    Parameters
+    ----------
+    arrivals:
+        Per-packet availability times **in service (FCFS) order**.
+        Plain arrival traces are sorted; the trace backend may inflate
+        entries by carryover waits, so monotonicity is not required —
+        only the ordering is (packet ``m`` is served after ``m - 1``).
+    services:
+        Per-packet service times, aligned with ``arrivals``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Departure times ``D`` aligned with the inputs;
+        ``D_m = max(A_m, D_{m-1}) + S_m`` with ``D_{-1} = -inf``.
+    """
+    A = np.asarray(arrivals, dtype=np.float64)
+    S = np.asarray(services, dtype=np.float64)
+    if A.ndim != 1 or A.shape != S.shape:
+        raise SimulationError(
+            f"arrivals and services must be 1-D and aligned, got shapes "
+            f"{A.shape} and {S.shape}"
+        )
+    if A.size == 0:
+        return np.empty(0, dtype=np.float64)
+    if np.any(S < 0.0):
+        raise SimulationError("service times must be non-negative")
+    cum = np.cumsum(S)
+    # cumS_{j-1}: cumulative service *before* packet j.
+    before = np.empty_like(cum)
+    before[0] = 0.0
+    before[1:] = cum[:-1]
+    return cum + np.maximum.accumulate(A - before)
+
+
+def fcfs_sojourn_times(
+    arrivals: np.ndarray,
+    services: np.ndarray,
+    horizon: Optional[float] = None,
+) -> np.ndarray:
+    """Sojourn times of a trace replayed through one FCFS server.
+
+    With ``horizon`` given, only packets *departing* strictly before it
+    are returned — the event engine's half-open-interval semantics
+    (service completions at or past the horizon never happen).
+    ``arrivals`` must be sorted ascending (a real arrival trace).
+    """
+    A = np.asarray(arrivals, dtype=np.float64)
+    if A.size and (np.any(np.diff(A) < 0.0) or A[0] < 0.0):
+        raise SimulationError(
+            "arrival trace must be sorted ascending and non-negative"
+        )
+    D = lindley_departure_times(A, services)
+    W = D - A
+    if horizon is not None:
+        return W[D < horizon]
+    return W
+
+
+def merge_streams(arrays: Sequence[np.ndarray]) -> Tuple[np.ndarray, np.ndarray]:
+    """Merge per-flow arrival arrays into one time-sorted stream.
+
+    Returns ``(merged, order)`` where ``order`` indexes the
+    concatenation of ``arrays`` (stable sort: ties resolve in flow
+    order, deterministically).  Scatter per-packet results back with
+    ``out[order] = result``.
+    """
+    cat = np.concatenate([np.asarray(a, dtype=np.float64) for a in arrays])
+    order = np.argsort(cat, kind="stable")
+    return cat[order], order
+
+
+def frontier_delays(
+    frontier_arrivals: np.ndarray,
+    frontier_departures: np.ndarray,
+    arrivals: np.ndarray,
+) -> np.ndarray:
+    """Residual backlog each arrival sees from earlier passes.
+
+    ``frontier_arrivals`` (sorted) and ``frontier_departures`` (aligned)
+    describe packets already replayed through the same server by
+    earlier passes.  A new packet arriving at ``t`` must wait for every
+    earlier-arrived packet to depart:
+
+        ``V(t) = max(0, max{D_j : A_j <= t} - t)``.
+
+    Returns the per-packet waits ``V`` aligned with ``arrivals``.
+    """
+    A = np.asarray(arrivals, dtype=np.float64)
+    if frontier_arrivals.size == 0:
+        return np.zeros(A.shape, dtype=np.float64)
+    dep_cummax = np.maximum.accumulate(
+        np.asarray(frontier_departures, dtype=np.float64)
+    )
+    idx = np.searchsorted(frontier_arrivals, A, side="right") - 1
+    latest = dep_cummax[np.maximum(idx, 0)]
+    return np.where(idx >= 0, np.clip(latest - A, 0.0, None), 0.0)
+
+
+def busy_time_within(
+    departures: np.ndarray, services: np.ndarray, horizon: float
+) -> float:
+    """Total service time rendered inside ``[0, horizon)``.
+
+    Each packet occupies the server on ``[D - S, D]``; the sum of the
+    overlaps with the measurement window is the busy time the event
+    backend accumulates via its busy-period bookkeeping.
+    """
+    D = np.asarray(departures, dtype=np.float64)
+    S = np.asarray(services, dtype=np.float64)
+    overlap = np.minimum(D, horizon) - (D - S)
+    return float(np.clip(overlap, 0.0, None).sum())

@@ -15,6 +15,16 @@ loss and NACK retransmission:
 Measured statistics (per-instance sojourn and utilization, per-request
 end-to-end latency) converge to the open-Jackson closed forms as the run
 lengthens — the validation tests assert exactly this.
+
+Two interchangeable backends produce those statistics:
+
+* ``backend="events"`` (default) — the per-packet event loop below, the
+  reference implementation.
+* ``backend="trace"`` — :mod:`repro.sim.trace`, an array-native
+  replay over pre-sampled arrival/service traces (Lindley kernels)
+  that iterates over chain hops and feedback rounds, never packets.
+  Orders of magnitude faster at scale; agrees with the event backend
+  in distribution (see docs/SIM_BACKENDS.md for the parity contract).
 """
 
 from __future__ import annotations
@@ -60,6 +70,10 @@ class SimulationConfig:
             )
 
 
+#: Valid ``ChainSimulator`` backends.
+BACKENDS = ("events", "trace")
+
+
 class ChainSimulator:
     """Packet-level simulation of scheduled VNF chains.
 
@@ -74,6 +88,10 @@ class ChainSimulator:
         (request, chain VNF) pair — the ``z`` variables.
     config:
         Run-control parameters.
+    backend:
+        ``"events"`` for the per-packet event loop (the reference
+        implementation) or ``"trace"`` for the array-native Lindley
+        replay of :mod:`repro.sim.trace`.
     """
 
     def __init__(
@@ -82,11 +100,17 @@ class ChainSimulator:
         requests: Sequence[Request],
         schedule: Mapping[Tuple[str, str], int],
         config: Optional[SimulationConfig] = None,
+        backend: str = "events",
     ) -> None:
+        if backend not in BACKENDS:
+            raise ValidationError(
+                f"unknown simulation backend {backend!r}; valid: {BACKENDS}"
+            )
         self._vnfs = {f.name: f for f in vnfs}
         self._requests = {r.request_id: r for r in requests}
         self._schedule = dict(schedule)
         self._config = config if config is not None else SimulationConfig()
+        self._backend = backend
         self._validate()
 
     def _validate(self) -> None:
@@ -115,6 +139,17 @@ class ChainSimulator:
     # ------------------------------------------------------------------
     def run(self) -> SimulationMetrics:
         """Execute one simulation run and return measured statistics."""
+        if self._backend == "trace":
+            # Imported lazily: trace.py itself imports SimulationConfig
+            # from this module.
+            from repro.sim.trace import run_trace_simulation
+
+            return run_trace_simulation(
+                list(self._vnfs.values()),
+                list(self._requests.values()),
+                self._schedule,
+                self._config,
+            )
         cfg = self._config
         engine = SimulationEngine()
         rng = np.random.default_rng(cfg.seed)

@@ -1,0 +1,366 @@
+"""Trace-driven simulation backend — whole-run arrays, no event loop.
+
+Replays the same system as the event backend (Poisson sources, FCFS
+exponential service instances, end-to-end loss with NACK feedback) but
+never steps packet by packet:
+
+1. **Pre-sample** every request's fresh arrival times on
+   ``[0, duration)`` — one ``numpy`` Generator stream per source.
+2. **Causal sweep.**  Replay chain hop levels within geometric
+   feedback rounds: at hop level ``h`` all flows mapped to the same
+   service instance are merged with a stable ``argsort`` and pushed
+   through the Lindley kernel in one shot; packets failing their
+   delivery coin (probability ``1 - P_r``) re-enter the chain head at
+   their last-hop departure time plus the NACK delay, forming the next
+   round's arrival trace.  Rounds thin geometrically until no packets
+   remain before the horizon.  This sweep establishes *when every
+   packet reaches every instance*; passes at the same instance carry a
+   departure-frontier so later passes queue behind earlier backlog.
+3. **Measurement sweep.**  Each instance is then replayed **once**
+   over the union of all its recorded arrivals — every flow, hop
+   level and feedback round merged into a single full-load Lindley
+   pass.  All reported statistics (per-instance sojourn, utilization,
+   departures; per-packet sojourns summed into end-to-end latency)
+   come from this pass, so every station is measured at its true
+   aggregate rate even when the causal sweep had to split it across
+   hop levels or rounds.
+
+The loop structure is ``rounds x hop levels x instances`` — never
+packets.  Statistics agree with the event backend in distribution, not
+sample by sample; see ``docs/SIM_BACKENDS.md`` for the parity contract
+(which quantities are exact in distribution and which carry a
+second-order approximation).
+
+RNG stream layout (documented, relied on by tests)
+--------------------------------------------------
+``SeedSequence(config.seed)`` spawns four roots, in order:
+
+1. **arrivals** — spawned again per request in sorted-id order,
+2. **causal-sweep services** — spawned per service instance in
+   declaration order (input VNF order, then instance index),
+3. **delivery coins** — spawned per request in sorted-id order,
+4. **measurement services** — spawned per instance in declaration
+   order, for the merged measurement pass.
+
+Every stream is consumed in deterministic (round, hop, instance /
+request) order, so a run is a pure function of the inputs and the
+seed.  The streams intentionally differ from the event backend's
+single shared generator: the two backends agree in distribution, not
+sample by sample.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.nfv.request import Request
+from repro.nfv.vnf import VNF
+from repro.sim.kernels import (
+    busy_time_within,
+    frontier_delays,
+    lindley_departure_times,
+    merge_streams,
+)
+from repro.sim.metrics import InstanceStats, SimulationMetrics
+from repro.workload.traces import poisson_arrival_times
+
+#: Hard cap on feedback rounds — each round thins by ``1 - P_r`` and
+#: re-entry times only grow toward the horizon, so hitting this means
+#: the configuration is pathological (e.g. ``P_r`` microscopically
+#: small at enormous load), not that the simulation is healthy.
+MAX_FEEDBACK_ROUNDS = 10_000
+
+
+class _InstanceState:
+    """One service instance: RNG streams, pass records, measurements."""
+
+    def __init__(
+        self,
+        key: Tuple[str, int],
+        service_rate: float,
+        sweep_rng: np.random.Generator,
+        measure_rng: np.random.Generator,
+    ) -> None:
+        self.key = key
+        self._mu = service_rate
+        self._sweep_rng = sweep_rng
+        self._measure_rng = measure_rng
+        # Causal-sweep pass history, merge-sorted by arrival time.
+        self._hist_arrivals = np.empty(0, dtype=np.float64)
+        self._hist_departures = np.empty(0, dtype=np.float64)
+        # Recorded (arrivals, packet ids) of every causal pass.
+        self._passes: List[Tuple[np.ndarray, np.ndarray]] = []
+
+    def sweep(self, arrivals: np.ndarray, packet_ids: np.ndarray) -> np.ndarray:
+        """One causal FCFS pass over a sorted arrival batch.
+
+        Returns estimated departures used for routing only; the pass is
+        recorded so the measurement sweep can replay the instance at
+        full merged load.
+        """
+        services = self._sweep_rng.exponential(
+            1.0 / self._mu, size=arrivals.size
+        )
+        waits = frontier_delays(
+            self._hist_arrivals, self._hist_departures, arrivals
+        )
+        departures = lindley_departure_times(arrivals + waits, services)
+        self._passes.append((arrivals, packet_ids))
+
+        merged = np.concatenate([self._hist_arrivals, arrivals])
+        merged_dep = np.concatenate([self._hist_departures, departures])
+        order = np.argsort(merged, kind="stable")
+        self._hist_arrivals = merged[order]
+        self._hist_departures = merged_dep[order]
+        return departures
+
+    def measure(
+        self, horizon: float, sojourn_sums: np.ndarray
+    ) -> InstanceStats:
+        """The single full-load measurement pass.
+
+        All recorded arrivals merge into one Lindley replay; per-packet
+        sojourns are accumulated into ``sojourn_sums`` (indexed by
+        packet id) for the end-to-end statistics.
+        """
+        if not self._passes:
+            return InstanceStats(
+                key=self.key,
+                arrivals=0,
+                departures=0,
+                mean_sojourn=0.0,
+                utilization=0.0 if horizon > 0.0 else 0.0,
+            )
+        merged, order = merge_streams([a for a, _ in self._passes])
+        services = self._measure_rng.exponential(
+            1.0 / self._mu, size=merged.size
+        )
+        departures = lindley_departure_times(merged, services)
+        sojourns = departures - merged
+
+        # Scatter sojourns back per pass (ids are unique within one
+        # pass, so plain fancy-index accumulation is safe there).
+        unsorted_sojourns = np.empty_like(sojourns)
+        unsorted_sojourns[order] = sojourns
+        start = 0
+        for arrivals, packet_ids in self._passes:
+            chunk = unsorted_sojourns[start : start + arrivals.size]
+            start += arrivals.size
+            sojourn_sums[packet_ids] += chunk
+
+        done = departures < horizon
+        num_done = int(done.sum())
+        return InstanceStats(
+            key=self.key,
+            arrivals=int(merged.size),
+            departures=num_done,
+            mean_sojourn=(
+                float(sojourns[done].sum()) / num_done if num_done else 0.0
+            ),
+            utilization=(
+                min(1.0, busy_time_within(departures, services, horizon) / horizon)
+                if horizon > 0.0
+                else 0.0
+            ),
+        )
+
+
+def run_trace_simulation(
+    vnfs: Sequence[VNF],
+    requests: Sequence[Request],
+    schedule: Mapping[Tuple[str, str], int],
+    config: Optional["SimulationConfig"] = None,
+) -> SimulationMetrics:
+    """Run one trace-driven simulation; mirrors ``ChainSimulator.run``.
+
+    Accepts exactly the constructor arguments of
+    :class:`~repro.sim.simulator.ChainSimulator` and returns the same
+    :class:`SimulationMetrics` shape.  Prefer
+    ``ChainSimulator(..., backend="trace").run()``, which validates the
+    schedule first; this entry point is for callers that already hold
+    validated inputs.
+    """
+    from repro.sim.simulator import SimulationConfig
+
+    cfg = config if config is not None else SimulationConfig()
+    vnfs_by_name: Dict[str, VNF] = {f.name: f for f in vnfs}
+    requests_by_id: Dict[str, Request] = {r.request_id: r for r in requests}
+    horizon = cfg.duration
+
+    rids = sorted(requests_by_id)
+    root = np.random.SeedSequence(int(cfg.seed))
+    arrival_root, sweep_root, coin_root, measure_root = root.spawn(4)
+    arrival_rngs = {
+        rid: np.random.default_rng(child)
+        for rid, child in zip(rids, arrival_root.spawn(len(rids)))
+    }
+    coin_rngs = {
+        rid: np.random.default_rng(child)
+        for rid, child in zip(rids, coin_root.spawn(len(rids)))
+    }
+
+    instance_keys: List[Tuple[str, int]] = [
+        (vnf.name, k)
+        for vnf in vnfs_by_name.values()
+        for k in range(vnf.num_instances)
+    ]
+    sweep_children = sweep_root.spawn(len(instance_keys))
+    measure_children = measure_root.spawn(len(instance_keys))
+    instances: Dict[Tuple[str, int], _InstanceState] = {
+        key: _InstanceState(
+            key,
+            vnfs_by_name[key[0]].service_rate,
+            np.random.default_rng(sweep_child),
+            np.random.default_rng(measure_child),
+        )
+        for key, sweep_child, measure_child in zip(
+            instance_keys, sweep_children, measure_children
+        )
+    }
+
+    chain_keys: Dict[str, List[Tuple[str, int]]] = {
+        rid: [
+            (vnf_name, schedule[(rid, vnf_name)])
+            for vnf_name in requests_by_id[rid].chain
+        ]
+        for rid in rids
+    }
+
+    # Fresh arrivals; every packet gets a run-global id so the
+    # measurement sweep can accumulate its per-hop sojourns.
+    flows: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+    created_chunks: List[np.ndarray] = []
+    next_id = 0
+    for rid in rids:
+        times = np.asarray(
+            poisson_arrival_times(
+                requests_by_id[rid].arrival_rate, horizon, arrival_rngs[rid]
+            ),
+            dtype=np.float64,
+        )
+        ids = np.arange(next_id, next_id + times.size, dtype=np.intp)
+        next_id += times.size
+        created_chunks.append(times)
+        flows[rid] = (times, ids)
+    generated = next_id
+    created_by_id = (
+        np.concatenate(created_chunks)
+        if created_chunks
+        else np.empty(0, dtype=np.float64)
+    )
+    # Accumulated NACK round-trip delay per packet (non-zero only for
+    # retransmitted packets when nack_delay > 0).
+    extra_delay = np.zeros(generated, dtype=np.float64)
+
+    delivered: Dict[str, int] = {rid: 0 for rid in rids}
+    retransmitted: Dict[str, int] = {rid: 0 for rid in rids}
+    # Per request: (causal delivery time, packet id) of counted
+    # deliveries, merged after the measurement sweep.
+    delivery_chunks: Dict[str, List[Tuple[np.ndarray, np.ndarray]]] = {
+        rid: [] for rid in rids
+    }
+
+    empty = (np.empty(0, dtype=np.float64), np.empty(0, dtype=np.intp))
+    round_index = 0
+    while any(times.size for times, _ in flows.values()):
+        if round_index >= MAX_FEEDBACK_ROUNDS:
+            raise SimulationError(
+                f"feedback did not drain after {MAX_FEEDBACK_ROUNDS} rounds; "
+                "check delivery probabilities and load"
+            )
+        next_flows: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+        max_len = max(
+            len(chain_keys[rid]) for rid in rids if flows[rid][0].size
+        )
+        for level in range(max_len):
+            groups: Dict[Tuple[str, int], List[str]] = {}
+            for rid in rids:
+                if flows[rid][0].size and level < len(chain_keys[rid]):
+                    groups.setdefault(chain_keys[rid][level], []).append(rid)
+            for key in instance_keys:
+                flow_ids = groups.get(key)
+                if not flow_ids:
+                    continue
+                merged, order = merge_streams(
+                    [flows[rid][0] for rid in flow_ids]
+                )
+                ids_cat = np.concatenate(
+                    [flows[rid][1] for rid in flow_ids]
+                )
+                departures_sorted = instances[key].sweep(
+                    merged, ids_cat[order]
+                )
+                departures = np.empty_like(departures_sorted)
+                departures[order] = departures_sorted
+                start = 0
+                for rid in flow_ids:
+                    times, ids = flows[rid]
+                    dep = departures[start : start + times.size]
+                    start += times.size
+                    # Completions at or past the horizon never happen in
+                    # the event engine; those packets go no further.
+                    keep = dep < horizon
+                    flows[rid] = (dep[keep], ids[keep])
+            # Flows whose chain ends at this level reach the delivery coin.
+            for rid in rids:
+                if len(chain_keys[rid]) != level + 1:
+                    continue
+                times, ids = flows[rid]
+                flows[rid] = empty
+                if not times.size:
+                    continue
+                request = requests_by_id[rid]
+                ok = (
+                    coin_rngs[rid].uniform(size=times.size)
+                    < request.delivery_probability
+                )
+                measured = created_by_id[ids] >= cfg.warmup
+                counted = ok & measured
+                delivered[rid] += int(counted.sum())
+                delivery_chunks[rid].append((times[counted], ids[counted]))
+                failed = ~ok
+                if round_index == 0:
+                    # First failure == the packet's second attempt; the
+                    # event backend counts it exactly once, there.
+                    retransmitted[rid] += int((failed & measured).sum())
+                retry_times = times[failed] + cfg.nack_delay
+                retry_ids = ids[failed]
+                keep = retry_times < horizon
+                retry_ids = retry_ids[keep]
+                if cfg.nack_delay > 0.0 and retry_ids.size:
+                    extra_delay[retry_ids] += cfg.nack_delay
+                next_flows[rid] = (retry_times[keep], retry_ids)
+        for rid in rids:
+            next_flows.setdefault(rid, empty)
+        flows = next_flows
+        round_index += 1
+
+    # Measurement sweep: one merged full-load pass per instance.
+    sojourn_sums = np.zeros(generated, dtype=np.float64)
+    instance_stats = [
+        instances[key].measure(horizon, sojourn_sums) for key in instance_keys
+    ]
+
+    end_to_end: Dict[str, List[float]] = {}
+    for rid in rids:
+        chunks = delivery_chunks[rid]
+        if chunks:
+            when = np.concatenate([c[0] for c in chunks])
+            ids = np.concatenate([c[1] for c in chunks])
+            order = np.argsort(when, kind="stable")
+            latency = sojourn_sums[ids] + extra_delay[ids]
+            end_to_end[rid] = [float(x) for x in latency[order]]
+        else:
+            end_to_end[rid] = []
+
+    return SimulationMetrics(
+        duration=horizon,
+        instances=instance_stats,
+        delivered=delivered,
+        end_to_end=end_to_end,
+        retransmitted=retransmitted,
+        generated=generated,
+    )

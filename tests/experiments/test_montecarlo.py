@@ -3,7 +3,11 @@
 import pytest
 
 from repro.exceptions import ConfigurationError
-from repro.experiments.montecarlo import resolve_jobs, run_trials
+from repro.experiments.montecarlo import (
+    compute_chunksize,
+    resolve_jobs,
+    run_trials,
+)
 from repro.seeding import trial_rng
 
 
@@ -63,3 +67,31 @@ class TestRunTrials:
     def test_trial_exception_propagates_parallel(self):
         with pytest.raises(ValueError, match="boom"):
             run_trials(_explode, [1, 2], jobs=2)
+
+
+class TestChunkedSubmission:
+    def test_chunksize_targets_four_chunks_per_worker(self):
+        assert compute_chunksize(80, 4) == 5
+        assert compute_chunksize(100, 4) == 7
+
+    def test_chunksize_never_below_one(self):
+        assert compute_chunksize(3, 8) == 1
+        assert compute_chunksize(0, 4) == 1
+        assert compute_chunksize(5, 0) == 1
+
+    def test_results_identical_across_jobs_with_multi_chunk_split(self):
+        # Enough tasks that every jobs level yields chunksize > 1 and
+        # several chunks per worker — the by-index reduction must still
+        # reassemble exactly the serial order.
+        tasks = [(97, i) for i in range(50)]
+        serial = run_trials(_seeded_draw, tasks, jobs=1)
+        for jobs in (2, 3, 5):
+            assert run_trials(_seeded_draw, tasks, jobs=jobs) == serial
+
+    def test_chunk_boundary_counts(self):
+        # Task counts around chunk boundaries (multiples, off-by-one).
+        for n in (7, 8, 9, 16, 17):
+            tasks = list(range(n))
+            assert run_trials(_square, tasks, jobs=2) == [
+                t * t for t in tasks
+            ]

@@ -1,5 +1,6 @@
 """Unit tests for loss-feedback effective arrival rates."""
 
+import numpy as np
 import pytest
 
 from repro.exceptions import ValidationError
@@ -80,6 +81,38 @@ class TestAggregateExternal:
     def test_negative_rejected(self):
         with pytest.raises(ValidationError):
             feedback.aggregate_external_rate([1.0, -2.0])
+
+
+class TestEffectiveRatesVectorized:
+    def test_matches_scalar_helper_elementwise(self):
+        rates = [10.0, 9.0, 0.0, 8.0]
+        probs = [1.0, 0.9, 0.5, 0.8]
+        out = feedback.effective_arrival_rates(rates, probs)
+        assert out.shape == (4,)
+        for got, rate, p in zip(out, rates, probs):
+            assert got == pytest.approx(
+                feedback.effective_arrival_rate(rate, p)
+            )
+
+    def test_empty_columns(self):
+        assert feedback.effective_arrival_rates([], []).size == 0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            feedback.effective_arrival_rates([1.0, 2.0], [0.9])
+
+    def test_invalid_entries_rejected(self):
+        with pytest.raises(ValidationError):
+            feedback.effective_arrival_rates([-1.0], [0.9])
+        with pytest.raises(ValidationError):
+            feedback.effective_arrival_rates([1.0], [0.0])
+        with pytest.raises(ValidationError):
+            feedback.effective_arrival_rates([1.0], [1.5])
+
+    def test_returns_numpy_array(self):
+        out = feedback.effective_arrival_rates([5.0], [0.5])
+        assert isinstance(out, np.ndarray)
+        assert out[0] == pytest.approx(10.0)
 
 
 class TestValidateDeliveryProbability:

@@ -105,6 +105,24 @@ class TestSimulationEngine:
         with pytest.raises(SimulationError):
             SimulationEngine().schedule_in(-1.0, lambda: None)
 
+    def test_rounding_noise_near_now_clamped_not_rejected(self):
+        # On long horizons float arithmetic produces times a few ULP
+        # before `now`; the guard is relative, so these clamp to `now`.
+        engine = SimulationEngine()
+        engine.schedule(1e9, lambda: None)
+        engine.run()
+        fired = []
+        engine.schedule(1e9 - 1e-5, lambda: fired.append(engine.now))
+        engine.run()
+        assert fired == [1e9]
+
+    def test_genuinely_past_time_still_rejected_on_long_horizon(self):
+        engine = SimulationEngine()
+        engine.schedule(1e9, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.schedule(1e9 - 1.0, lambda: None)
+
     def test_dispatched_counter(self):
         engine = SimulationEngine()
         for t in (1.0, 2.0, 3.0):
