@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-core bench-solvers bench-sim lint experiments examples ci clean
+.PHONY: install test bench bench-core bench-solvers bench-sim bench-topo lint experiments examples ci clean
 
 PYTHON ?= python
 
@@ -19,6 +19,9 @@ bench-solvers:
 
 bench-sim:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_sim.py --out benchmarks/bench_sim.json
+
+bench-topo:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_topo.py --out benchmarks/bench_topo.json
 
 # Lint via ruff when available (config in pyproject.toml); the runtime
 # image ships without it, so the gate degrades to a skip, not a failure.
@@ -41,6 +44,7 @@ ci: lint
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_core.py --quick --out benchmarks/bench_core.json
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_solvers.py --quick --out benchmarks/bench_solvers.json
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_sim.py --quick --out benchmarks/bench_sim.json
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_topo.py --quick --out benchmarks/bench_topo.json
 
 examples:
 	@for f in examples/*.py; do echo "== $$f =="; $(PYTHON) $$f; echo; done

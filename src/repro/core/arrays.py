@@ -140,6 +140,13 @@ class ScenarioArrays:
     )
     #: Cached ``node_str_rank()`` vector or ``None``.
     _node_str_rank: Optional[np.ndarray] = field(default=None, repr=False)
+    #: Cached topology attachment: ``(topology_arrays, node_compute)``
+    #: where ``node_compute[i]`` is the compute index of scenario node
+    #: ``i`` in that fabric.  Keyed by identity — re-attached when a
+    #: different topology is queried.
+    _topo_attach: Optional[Tuple[object, np.ndarray]] = field(
+        default=None, repr=False
+    )
 
     # ------------------------------------------------------------------
     # Builders
@@ -383,6 +390,61 @@ class ScenarioArrays:
         transition = same_request & (node_seq[1:] != node_seq[:-1])
         return np.bincount(
             self.chain_req[1:][transition], minlength=len(self.request_ids)
+        )
+
+    def topology_view(self, topology) -> Tuple[object, np.ndarray]:
+        """Attach a fabric: its arrays + scenario-node -> compute map.
+
+        ``topology`` is a ``DatacenterTopology`` or its
+        ``TopologyArrays`` (duck-typed; :mod:`repro.core` never imports
+        :mod:`repro.topology`).  Every scenario node key must name a
+        compute node of the fabric.  The mapping is cached per fabric
+        identity, so repeated evaluations against the same topology pay
+        the key lookups once.
+        """
+        topo = topology.arrays() if hasattr(topology, "arrays") else topology
+        if self._topo_attach is not None and self._topo_attach[0] is topo:
+            return self._topo_attach
+        node_compute = np.empty(len(self.node_keys), dtype=np.int64)
+        for i, key in enumerate(self.node_keys):
+            ci = topo.compute_index.get(key)
+            if ci is None:
+                ci = topo.compute_index.get(str(key))
+            if ci is None:
+                raise ValidationError(
+                    f"scenario node {key!r} is not a compute node of "
+                    f"topology arrays with {len(topo.compute_keys)} "
+                    f"compute nodes"
+                )
+            node_compute[i] = ci
+        self._topo_attach = (topo, node_compute)
+        return self._topo_attach
+
+    def topology_latency_per_request(
+        self, placement_vec: np.ndarray, topology
+    ) -> np.ndarray:
+        """Eq. (16)'s communication term on a real fabric, per request.
+
+        The flat-fabric term is ``hops_per_request(...) * L``; here each
+        inter-node transition instead contributes the measured
+        shortest-path latency between the two hosting nodes — gathered
+        from the fabric's dense compute-pair matrix in one shot.  All
+        chain VNFs must be placed (callers gate exactly as they do for
+        :meth:`hops_per_request`).
+        """
+        topo, node_compute = self.topology_view(topology)
+        node_seq = placement_vec[self.chain_vnf]
+        num_requests = len(self.request_ids)
+        if len(node_seq) < 2:
+            return np.zeros(num_requests, dtype=np.float64)
+        same_request = self.chain_req[1:] == self.chain_req[:-1]
+        transition = same_request & (node_seq[1:] != node_seq[:-1])
+        src = node_compute[node_seq[:-1][transition]]
+        dst = node_compute[node_seq[1:][transition]]
+        return np.bincount(
+            self.chain_req[1:][transition],
+            weights=topo.latency[src, dst],
+            minlength=num_requests,
         )
 
     # ------------------------------------------------------------------

@@ -73,6 +73,7 @@ def evaluate_deployment(
     state: DeploymentState,
     link_latency: float = DEFAULT_LINK_LATENCY,
     with_admission: bool = True,
+    topology=None,
 ) -> EvaluationReport:
     """Score a complete deployment on all paper metrics.
 
@@ -87,6 +88,13 @@ def evaluate_deployment(
         over the scheduled instances (the analytic state itself is left
         untouched — latency metrics describe the *admitted* load only if
         shedding was required).
+    topology:
+        Optional :class:`~repro.topology.graph.DatacenterTopology` (or
+        its arrays).  When given, Eq. (16)'s communication term charges
+        the fabric's measured shortest-path latency per inter-node
+        transition instead of the flat ``link_latency`` constant; every
+        placement node must be a compute node of the fabric.  ``None``
+        (the default) keeps the paper's flat-``L`` model exactly.
     """
     state.validate()
     arrays = state.arrays()
@@ -101,7 +109,7 @@ def evaluate_deployment(
     ):
         # Some instance must shed load: the greedy per-request rejection
         # policy is inherently sequential, so run the object path.
-        return _evaluate_with_shedding(state, link_latency)
+        return _evaluate_with_shedding(state, link_latency, topology)
 
     max_util = (
         float(utilization[serving].max()) if serving.any() else 0.0
@@ -118,8 +126,14 @@ def evaluate_deployment(
     if math.isfinite(avg_w):
         response = arrays.response_per_request(sched, instance_w)
         placement_vec = arrays.placement_vector(state.placement)
-        hops = arrays.hops_per_request(placement_vec)
-        total = float(np.sum(response + hops * link_latency))
+        if topology is None:
+            hops = arrays.hops_per_request(placement_vec)
+            comm = hops * link_latency
+        else:
+            comm = arrays.topology_latency_per_request(
+                placement_vec, topology
+            )
+        total = float(np.sum(response + comm))
         avg_total = total / len(state.requests) if state.requests else 0.0
     else:
         total = math.inf
@@ -139,7 +153,7 @@ def evaluate_deployment(
 
 
 def _evaluate_with_shedding(
-    state: DeploymentState, link_latency: float
+    state: DeploymentState, link_latency: float, topology=None
 ) -> EvaluationReport:
     """The pre-vectorization object path, for deployments that shed."""
     instances = state.instances()
@@ -160,13 +174,18 @@ def _evaluate_with_shedding(
     max_util = max((i.utilization for i in serving), default=0.0)
 
     if math.isfinite(avg_w) and not num_rejected:
-        total = objectives.total_latency(state, link_latency)
+        if topology is None:
+            total = objectives.total_latency(state, link_latency)
+        else:
+            from repro.core.topology_eval import total_latency_on_topology
+
+            total = total_latency_on_topology(state, topology)
         avg_total = total / len(state.requests) if state.requests else 0.0
     elif math.isfinite(avg_w):
         # Shedding occurred: approximate per-request totals over admitted
         # load by rebuilding a shed-aware latency sum.
         total = _total_latency_after_admission(
-            state, latency_instances, link_latency
+            state, latency_instances, link_latency, topology
         )
         avg_total = total
     else:
@@ -186,7 +205,9 @@ def _evaluate_with_shedding(
     )
 
 
-def _total_latency_after_admission(state, instances, link_latency) -> float:
+def _total_latency_after_admission(
+    state, instances, link_latency, topology=None
+) -> float:
     """Mean per-admitted-request latency when some requests were shed."""
     instance_w = {
         inst.key: inst.mean_response_time for inst in instances if inst.requests
@@ -196,6 +217,12 @@ def _total_latency_after_admission(state, instances, link_latency) -> float:
         for inst in instances
         for request in inst.requests
     }
+    router = None
+    if topology is not None:
+        from repro.core.topology_eval import request_path_latency
+        from repro.topology.routing import Router
+
+        router = Router(topology)
     total = 0.0
     counted = 0
     for request in state.requests:
@@ -212,7 +239,11 @@ def _total_latency_after_admission(state, instances, link_latency) -> float:
             response += w
         if not ok:
             continue
-        total += response + state.inter_node_hops(request.request_id) * link_latency
+        if router is not None:
+            comm = request_path_latency(state, router, request.request_id)
+        else:
+            comm = state.inter_node_hops(request.request_id) * link_latency
+        total += response + comm
         counted += 1
     if counted == 0:
         return math.inf

@@ -90,6 +90,7 @@ def refine_placement(
     state: DeploymentState,
     max_rounds: int = 10,
     trace: Optional[List[Tuple[str, Hashable, Hashable]]] = None,
+    network=None,
 ) -> RefinementReport:
     """Hill-climb relocate moves reducing total inter-node hops.
 
@@ -108,6 +109,14 @@ def refine_placement(
         Optional list receiving one ``(vnf_name, source, target)`` tuple
         per applied move, in order — the hook the kernel-parity tests
         use to pin the move sequence.
+    network:
+        Optional :class:`~repro.topology.network.NetworkModel`.  When
+        given, every candidate target must additionally keep all routed
+        link loads within bandwidth (:meth:`NetworkModel.fits
+        <repro.topology.network.NetworkModel.fits>`): the climb scans
+        targets in score order and takes the best bandwidth-feasible
+        one.  ``None`` (the default) leaves the search byte-identical to
+        the unconstrained kernel.
 
     Returns
     -------
@@ -129,7 +138,14 @@ def refine_placement(
         except KeyError:
             placement_vec = None
         if placement_vec is not None and not bool((placement_vec < 0).any()):
-            return _refine_delta(state, placement_vec, max_rounds, trace)
+            return _refine_delta(
+                state, placement_vec, max_rounds, trace, network
+            )
+    if network is not None:
+        raise ValidationError(
+            "bandwidth-aware refinement requires a fully placed state "
+            "with known chain VNFs"
+        )
     return _refine_scalar(state, max_rounds, trace)
 
 
@@ -138,6 +154,7 @@ def _refine_delta(
     placement_vec: np.ndarray,
     max_rounds: int,
     trace: Optional[List[Tuple[str, Hashable, Hashable]]],
+    network=None,
 ) -> RefinementReport:
     """The incremental kernel: neighbor-count deltas, O(1) fit checks."""
     arrays = state.arrays()
@@ -150,6 +167,9 @@ def _refine_delta(
     current_hops = initial_hops
     moves = 0
     loads = arrays.node_loads(placement_vec)
+    link_loads = (
+        network.link_loads(placement_vec) if network is not None else None
+    )
 
     for _ in range(max_rounds):
         improved_this_round = False
@@ -167,11 +187,25 @@ def _refine_delta(
             fits = loads + arrays.total_demand_f[fi] <= capacity_slack
             scores = np.where(fits, neighbor_counts, -1)
             scores[source] = -1
-            # First-best target in node order == the legacy scan that
-            # kept the first strict improvement over the running best.
-            target = int(np.argmax(scores))
-            if scores[target] <= neighbor_counts[source]:
-                continue
+            if network is None:
+                # First-best target in node order == the legacy scan
+                # that kept the first strict improvement over the
+                # running best.
+                target = int(np.argmax(scores))
+                if scores[target] <= neighbor_counts[source]:
+                    continue
+            else:
+                target = _best_bandwidth_feasible(
+                    network,
+                    fi,
+                    source,
+                    placement_vec,
+                    link_loads,
+                    scores,
+                    int(neighbor_counts[source]),
+                )
+                if target is None:
+                    continue
             placement_vec[fi] = target
             state.placement[arrays.vnf_names[fi]] = arrays.node_keys[target]
             current_hops += int(neighbor_counts[source]) - int(scores[target])
@@ -196,6 +230,41 @@ def _refine_delta(
         final_hops=current_hops,
         hops_saved=initial_hops - current_hops,
     )
+
+
+def _best_bandwidth_feasible(
+    network,
+    fi: int,
+    source: int,
+    placement_vec: np.ndarray,
+    link_loads: np.ndarray,
+    scores: np.ndarray,
+    source_score: int,
+) -> Optional[int]:
+    """Best improving target that also passes the link-bandwidth check.
+
+    Scans candidates in descending score (ties in node order — the same
+    ranking the unconstrained argmax applies) and returns the first that
+    fits, with ``link_loads`` updated to the committed move; returns
+    ``None`` (state untouched) when no improving target fits.
+    """
+    # Retract f's routed flows so the residuals describe "f unplaced".
+    network.add_flows(fi, source, placement_vec, link_loads, -1.0)
+    placement_vec[fi] = -1
+    chosen: Optional[int] = None
+    for t in np.argsort(-scores, kind="stable"):
+        t = int(t)
+        if scores[t] <= source_score:
+            break
+        if network.fits(fi, t, placement_vec, link_loads):
+            chosen = t
+            break
+    if chosen is None:
+        placement_vec[fi] = source
+        network.add_flows(fi, source, placement_vec, link_loads, 1.0)
+        return None
+    network.add_flows(fi, chosen, placement_vec, link_loads, 1.0)
+    return chosen
 
 
 def _refine_scalar(
@@ -243,6 +312,218 @@ def _refine_scalar(
         final_hops=current_hops,
         hops_saved=initial_hops - current_hops,
     )
+
+
+@dataclass(frozen=True)
+class SwapReport:
+    """Outcome of a placement-level swap pass."""
+
+    swaps_applied: int
+    #: Eq. (16) communication totals before/after, in seconds.
+    initial_latency: float
+    final_latency: float
+    latency_saved: float
+
+    @property
+    def improved(self) -> bool:
+        """Whether any strictly improving exchange was found."""
+        return self.swaps_applied > 0
+
+
+def swap_placement(
+    state: DeploymentState,
+    max_rounds: int = 10,
+    topology=None,
+    link_latency: float = 1e-4,
+    network=None,
+    trace: Optional[List[Tuple[str, str, Hashable, Hashable]]] = None,
+) -> SwapReport:
+    """Best-improvement pairwise **exchange** of VNF placements.
+
+    Relocation (:func:`refine_placement`) needs spare capacity on the
+    target node; on tightly packed fabrics no single move fits and the
+    climb stalls.  Exchanging the nodes of two VNFs sidesteps that: the
+    swap is feasible whenever each node can absorb the *difference* of
+    the two demand bundles, and on a real fabric it can trade a pair of
+    long cross-fabric adjacencies for short ones.
+
+    The objective is Eq. (16)'s communication term — flat ``L`` per
+    inter-node transition when ``topology`` is ``None``, the fabric's
+    measured shortest-path latencies otherwise.  Swapping ``f`` (node
+    ``s``) with ``g`` (node ``t``) changes it by::
+
+        delta = A_f(t) + A_g(s) - A_f(s) - A_g(t) + 2 m_fg lat[s, t]
+
+    where ``A_f(x)`` sums ``lat[x, placement[n]]`` over ``f``'s chain
+    neighbors ``n`` and ``m_fg`` is the ``f``-``g`` adjacency
+    multiplicity (the correction removes the pair's own double-counted
+    terms; their mutual latency is ``lat[t, s] = lat[s, t]`` either
+    way).  All ``O(F^2)`` deltas are evaluated as one matrix expression
+    per applied swap; the best strictly improving, capacity- and
+    bandwidth-feasible exchange is applied until none remains (or
+    ``max_rounds * F`` swaps, a safety bound).
+
+    Parameters
+    ----------
+    state:
+        A validated, fully placed joint deployment; mutated in place.
+        The schedule is untouched.
+    max_rounds:
+        Swap budget multiplier (the pass stops at the first iteration
+        with no improving feasible exchange).
+    topology:
+        Optional fabric (``DatacenterTopology`` or its arrays) supplying
+        measured latencies.
+    link_latency:
+        The flat per-hop ``L`` used when ``topology`` is ``None``.
+    network:
+        Optional :class:`~repro.topology.network.NetworkModel`; when
+        given, a swap must also keep every routed link within bandwidth.
+    trace:
+        Optional list receiving ``(vnf_f, vnf_g, node_s, node_t)`` per
+        applied swap.
+    """
+    if max_rounds < 1:
+        raise ValidationError(f"max_rounds must be >= 1, got {max_rounds!r}")
+    state.validate()
+    arrays = state.arrays()
+    if arrays.chain_has_unknown:
+        raise ValidationError(
+            "swap_placement requires chains over known VNFs"
+        )
+    placement_vec = arrays.placement_vector(state.placement)
+    if bool((placement_vec < 0).any()):
+        raise ValidationError("swap_placement requires a full placement")
+
+    num_vnfs = len(arrays.vnf_names)
+    num_nodes = len(arrays.node_keys)
+    if topology is not None:
+        topo, node_compute = arrays.topology_view(topology)
+        lat = topo.latency[np.ix_(node_compute, node_compute)]
+    else:
+        lat = link_latency * (1.0 - np.eye(num_nodes))
+
+    def comm_total(vec: np.ndarray) -> float:
+        if topology is not None:
+            return float(
+                arrays.topology_latency_per_request(vec, topology).sum()
+            )
+        return float(arrays.hops_per_request(vec).sum()) * link_latency
+
+    nbr_ptr, nbr = arrays.vnf_chain_neighbors()
+    owners = np.repeat(
+        np.arange(num_vnfs, dtype=np.int64), np.diff(nbr_ptr)
+    )
+    multiplicity = np.zeros((num_vnfs, num_vnfs), dtype=np.float64)
+    if len(owners):
+        np.add.at(multiplicity, (owners, nbr), 1.0)
+    demands = arrays.total_demand_f
+    capacity_slack = arrays.A_v + 1e-9
+    loads = arrays.node_loads(placement_vec)
+    link_loads = (
+        network.link_loads(placement_vec) if network is not None else None
+    )
+
+    initial = comm_total(placement_vec)
+    swaps = 0
+    budget = max_rounds * max(num_vnfs, 1)
+    upper = np.triu_indices(num_vnfs, k=1)
+
+    while swaps < budget:
+        pl = placement_vec
+        # A[f, x] = sum over f's chain neighbors n of lat[x, pl[n]].
+        A = np.zeros((num_vnfs, num_nodes), dtype=np.float64)
+        if len(owners):
+            np.add.at(A, owners, lat[:, pl[nbr]].T)
+        B = A[:, pl]  # B[f, g] = A_f(pl[g])
+        diag = np.diagonal(B).copy()
+        delta = (
+            B
+            + B.T
+            - diag[:, None]
+            - diag[None, :]
+            + 2.0 * multiplicity * lat[pl][:, pl]
+        )
+        # Capacity: node pl[f] must absorb swapping f's bundle for g's.
+        fit_f = (
+            loads[pl][:, None] - demands[:, None] + demands[None, :]
+            <= capacity_slack[pl][:, None]
+        )
+        feasible = fit_f & fit_f.T & (pl[:, None] != pl[None, :])
+        candidate = np.zeros_like(feasible)
+        candidate[upper] = feasible[upper] & (delta[upper] < -1e-12)
+        if not candidate.any():
+            break
+
+        pairs = np.argwhere(candidate)
+        applied = False
+        for k in np.argsort(delta[candidate], kind="stable"):
+            f, g = (int(x) for x in pairs[k])
+            s, t = int(pl[f]), int(pl[g])
+            if network is not None and not _try_swap_bandwidth(
+                network, f, g, s, t, pl, link_loads
+            ):
+                continue
+            pl[f], pl[g] = t, s
+            state.placement[arrays.vnf_names[f]] = arrays.node_keys[t]
+            state.placement[arrays.vnf_names[g]] = arrays.node_keys[s]
+            loads = arrays.node_loads(pl)
+            swaps += 1
+            applied = True
+            if trace is not None:
+                trace.append(
+                    (
+                        arrays.vnf_names[f],
+                        arrays.vnf_names[g],
+                        arrays.node_keys[s],
+                        arrays.node_keys[t],
+                    )
+                )
+            break
+        if not applied:
+            break
+
+    state.validate()
+    final = comm_total(placement_vec)
+    return SwapReport(
+        swaps_applied=swaps,
+        initial_latency=initial,
+        final_latency=final,
+        latency_saved=initial - final,
+    )
+
+
+def _try_swap_bandwidth(
+    network, f: int, g: int, s: int, t: int, pl: np.ndarray, link_loads
+) -> bool:
+    """Trial-commit the swap against link bandwidth; False reverts all.
+
+    On True, ``link_loads`` reflects the swapped flows and ``pl`` holds
+    the swapped nodes (the caller's subsequent assignment is a no-op).
+    """
+    network.add_flows(f, s, pl, link_loads, -1.0)
+    pl[f] = -1
+    network.add_flows(g, t, pl, link_loads, -1.0)
+    pl[g] = -1
+    if not network.fits(f, t, pl, link_loads):
+        network.add_flows(g, t, pl, link_loads, 1.0)
+        pl[g] = t
+        network.add_flows(f, s, pl, link_loads, 1.0)
+        pl[f] = s
+        return False
+    network.add_flows(f, t, pl, link_loads, 1.0)
+    pl[f] = t
+    if not network.fits(g, s, pl, link_loads):
+        network.add_flows(f, t, pl, link_loads, -1.0)
+        pl[f] = -1
+        network.add_flows(g, t, pl, link_loads, 1.0)
+        pl[g] = t
+        network.add_flows(f, s, pl, link_loads, 1.0)
+        pl[f] = s
+        return False
+    network.add_flows(g, s, pl, link_loads, 1.0)
+    pl[g] = s
+    return True
 
 
 def _fits_after_move(

@@ -113,6 +113,17 @@ class BFDSUPlacement(PlacementAlgorithm):
         :class:`MaxRestartsExceededError`.
     weight_offset:
         The constant added to the weight denominator; the paper uses 1.
+    network:
+        Optional :class:`~repro.topology.network.NetworkModel` built for
+        this problem's VNF/node index space.  When given, the candidate
+        set ``V_rst(f)`` additionally excludes nodes where routing
+        ``f``'s chain flows would oversubscribe some link — the
+        bandwidth residuals update incrementally alongside the capacity
+        residuals, and "no bandwidth-feasible node" triggers the same
+        "go back to Begin" restart as a capacity dead-end.  ``None``
+        (the default) leaves the construction — including its RNG
+        consumption — byte-identical per seed to the unconstrained
+        kernel.
     """
 
     name = "BFDSU"
@@ -122,6 +133,7 @@ class BFDSUPlacement(PlacementAlgorithm):
         rng: Optional[RngLike] = None,
         max_restarts: int = 200,
         weight_offset: float = WEIGHT_OFFSET,
+        network=None,
     ) -> None:
         # ``None`` means the documented default seed
         # (repro.seeding.DEFAULT_SEED), never OS entropy: two
@@ -129,6 +141,7 @@ class BFDSUPlacement(PlacementAlgorithm):
         self._rng = resolve_rng(rng)
         self._max_restarts = max_restarts
         self._weight_offset = weight_offset
+        self._network = network
 
     def place(self, problem: PlacementProblem) -> PlacementResult:
         problem.check_necessary_feasibility()
@@ -174,6 +187,7 @@ class BFDSUPlacement(PlacementAlgorithm):
     ) -> Tuple[Optional[Dict[str, Hashable]], int]:
         num_nodes = len(arrays.node_keys)
         offset = self._weight_offset
+        network = self._network
         # Twin residual state: the numpy vector feeds the vectorized
         # spare-node scans, the plain-float list the scalar used-node
         # draws.  Both see the identical IEEE updates.
@@ -184,10 +198,24 @@ class BFDSUPlacement(PlacementAlgorithm):
         used: List[int] = []  # first-use order, like the legacy list
         placement: Dict[str, Hashable] = {}
         draws = 0
+        if network is not None:
+            # Bandwidth state: partial placement in the scenario's VNF
+            # index space plus per-link routed-flow residuals.
+            pl_vec = np.full(len(arrays.vnf_names), -1, dtype=np.int64)
+            link_loads = np.zeros(network.num_links, dtype=np.float64)
 
         for vnf, demand in zip(vnfs, demands):
             threshold = demand - FIT_EPS
-            cands = [v for v in used if res_list[v] >= threshold]
+            if network is not None:
+                fi = arrays.vnf_index[vnf.name]
+                cands = [
+                    v
+                    for v in used
+                    if res_list[v] >= threshold
+                    and network.fits(fi, v, pl_vec, link_loads)
+                ]
+            else:
+                cands = [v for v in used if res_list[v] >= threshold]
             if cands:
                 draws += 1
                 # Used-node draws see a handful of candidates; the
@@ -213,6 +241,15 @@ class BFDSUPlacement(PlacementAlgorithm):
                 candidates = (spare_mask & (residual >= threshold)).nonzero()[
                     0
                 ]
+                if network is not None and len(candidates):
+                    candidates = np.array(
+                        [
+                            v
+                            for v in candidates
+                            if network.fits(fi, int(v), pl_vec, link_loads)
+                        ],
+                        dtype=np.int64,
+                    )
                 if not len(candidates):
                     # Line 9: "Go back to Begin" — the restart loop.
                     return None, draws
@@ -230,6 +267,9 @@ class BFDSUPlacement(PlacementAlgorithm):
             placement[vnf.name] = arrays.node_keys[target]
             residual[target] -= demand
             res_list[target] -= demand
+            if network is not None:
+                network.add_flows(fi, target, pl_vec, link_loads)
+                pl_vec[fi] = target
             if spare_mask[target]:
                 spare_mask[target] = False
                 used.append(target)

@@ -65,6 +65,7 @@ class DatacenterTopology:
         self._graph = nx.Graph()
         self._compute: Dict[str, ComputeNode] = {}
         self._switches: Dict[str, Switch] = {}
+        self._topology_arrays = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -75,6 +76,7 @@ class DatacenterTopology:
         node = ComputeNode(key=key, capacity=capacity)
         self._compute[key] = node
         self._graph.add_node(key, kind="compute")
+        self._topology_arrays = None
         return node
 
     def add_switch(self, key: str) -> Switch:
@@ -83,6 +85,7 @@ class DatacenterTopology:
         switch = Switch(key=key)
         self._switches[key] = switch
         self._graph.add_node(key, kind="switch")
+        self._topology_arrays = None
         return switch
 
     def add_link(
@@ -103,6 +106,7 @@ class DatacenterTopology:
         if bandwidth <= 0.0:
             raise ValidationError(f"bandwidth must be positive, got {bandwidth!r}")
         self._graph.add_edge(a, b, latency=latency, bandwidth=bandwidth)
+        self._topology_arrays = None
 
     def _check_new_key(self, key: str) -> None:
         if key in self._graph:
@@ -162,6 +166,33 @@ class DatacenterTopology:
         if data is None:
             raise ValidationError(f"no link between {a!r} and {b!r}")
         return data["latency"]
+
+    def link_bandwidth(self, a: str, b: str) -> float:
+        """Bandwidth of the direct link between ``a`` and ``b``."""
+        data = self._graph.get_edge_data(a, b)
+        if data is None:
+            raise ValidationError(f"no link between {a!r} and {b!r}")
+        return data["bandwidth"]
+
+    def links(self):
+        """``(a, b, latency, bandwidth)`` per link, in insertion order."""
+        return [
+            (a, b, data["latency"], data["bandwidth"])
+            for a, b, data in self._graph.edges(data=True)
+        ]
+
+    def arrays(self):
+        """The cached :class:`~repro.topology.arrays.TopologyArrays`.
+
+        Built (and connectivity-validated) on first use; any mutation of
+        the topology invalidates the cache, so the snapshot always
+        reflects the current graph.
+        """
+        from repro.topology.arrays import TopologyArrays
+
+        if self._topology_arrays is None:
+            self._topology_arrays = TopologyArrays.build(self)
+        return self._topology_arrays
 
     def total_capacity(self) -> float:
         """Aggregate compute capacity ``sum_v A_v``."""

@@ -66,6 +66,44 @@ class TestWaypointLatency:
         assert Router(line_topology).path_latency(["a"]) == 0.0
 
 
+class TestPathCacheBound:
+    def test_cache_never_exceeds_bound(self, line_topology):
+        router = Router(line_topology, path_cache_size=2)
+        for source in ("a", "b", "c"):
+            for target in ("a", "b", "c"):
+                if source != target:
+                    router.path(source, target)
+        assert len(router._path_cache) <= 2
+
+    def test_lru_evicts_oldest(self, line_topology):
+        router = Router(line_topology, path_cache_size=2)
+        router.path("a", "b")
+        router.path("b", "c")
+        router.path("a", "b")  # refresh (a, b)
+        router.path("a", "c")  # evicts (b, c), the least recent
+        arrays = line_topology.arrays()
+        a, b, c = (arrays.vertex_index[k] for k in ("a", "b", "c"))
+        assert set(router._path_cache) == {(a, b), (a, c)}
+
+    def test_cached_path_is_a_copy(self, line_topology):
+        router = Router(line_topology)
+        first = router.path("a", "c")
+        first.append("tampered")
+        assert router.path("a", "c") == ["a", "b", "c"]
+
+    def test_invalid_cache_size_rejected(self, line_topology):
+        with pytest.raises(ValidationError):
+            Router(line_topology, path_cache_size=0)
+
+
+class TestPrebuiltArraysInput:
+    def test_router_accepts_topology_arrays(self, line_topology):
+        router = Router(line_topology.arrays())
+        assert router.path("a", "c") == ["a", "b", "c"]
+        assert router.latency("a", "c") == pytest.approx(3.0)
+        assert router.hop_count("a", "c") == 2
+
+
 class TestAveragePairwise:
     def test_line(self, line_topology):
         router = Router(line_topology)
