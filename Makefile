@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-core bench-solvers bench-sim bench-topo lint experiments examples ci clean
+.PHONY: install test bench bench-core bench-solvers bench-sim bench-topo bench-serve lint experiments examples ci clean
 
 PYTHON ?= python
 
@@ -23,6 +23,9 @@ bench-sim:
 bench-topo:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_topo.py --out benchmarks/bench_topo.json
 
+bench-serve:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_serve.py --out benchmarks/bench_serve.json
+
 # Lint via ruff when available (config in pyproject.toml); the runtime
 # image ships without it, so the gate degrades to a skip, not a failure.
 lint:
@@ -45,6 +48,7 @@ ci: lint
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_solvers.py --quick --out benchmarks/bench_solvers.json
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_sim.py --quick --out benchmarks/bench_sim.json
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_topo.py --quick --out benchmarks/bench_topo.json
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_serve.py --quick --min-speedup 50 --out benchmarks/bench_serve.json
 
 examples:
 	@for f in examples/*.py; do echo "== $$f =="; $(PYTHON) $$f; echo; done

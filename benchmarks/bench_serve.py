@@ -1,0 +1,201 @@
+#!/usr/bin/env python
+"""Micro-benchmark: incremental serving engine throughput and latency.
+
+Builds deterministic scenarios at two active-set sizes (2k and 20k
+requests; shrunk under ``--quick``) and times the
+:class:`~repro.core.incremental.DeploymentEngine` operations the
+serving layer leans on:
+
+* ``admit_vs_resolve_2k`` — one warm-start admit against one
+  from-scratch two-phase solve at 2k active requests (reference =
+  the re-solve, vectorized = the admit): the headline speedup and the
+  ISSUE acceptance bar (>= 50x).
+* ``admit_depart_2k`` / ``admit_depart_20k`` — paired admit+depart
+  round trips at a constant active-set size; the per-op time prices
+  sustained churn throughput.
+* ``rebalance_2k`` / ``rebalance_20k`` — one full re-optimization over
+  the active set (the periodic warm-start reset).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py [--quick] [--out FILE]
+
+``--min-speedup`` gates on ``admit_vs_resolve_2k`` (default 0:
+report-only; CI runs the quick smoke, the acceptance number comes from
+the full run recorded in ``BENCH_TRAJECTORY.json``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+try:  # pragma: no cover - path bootstrap for direct script runs
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+import numpy as np
+
+from bench_core import DEFAULT_SEED, _time
+from repro.core.incremental import DeploymentEngine, solve_joint
+from repro.workload.generator import WorkloadGenerator
+
+
+def _build(num_active: int, num_nodes: int, num_vnfs: int, seed: int):
+    """An engine warmed to ``num_active`` requests + a churn reserve."""
+    gen = WorkloadGenerator(np.random.default_rng(seed))
+    reserve = max(200, num_active // 10)
+    w = gen.workload(
+        num_vnfs=num_vnfs,
+        num_nodes=num_nodes,
+        num_requests=num_active + reserve,
+    )
+    base = list(w.requests[:num_active])
+    extra = list(w.requests[num_active:])
+    engine = DeploymentEngine(
+        w.vnfs, w.capacities, base, target_utilization=None
+    )
+    return engine, w, base, extra
+
+
+def _churn_per_op(engine, extra, rounds: int) -> float:
+    """Best per-op seconds over paired admit+depart sweeps.
+
+    Each sweep admits every reserve request then departs it again, so
+    the active-set size the ops see stays constant and no state leaks
+    between repeats.
+    """
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        for request in extra:
+            engine.admit(request)
+        for request in extra:
+            engine.depart(request.request_id)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed / (2 * len(extra)))
+    return best
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small scenarios + fewer repeats (CI smoke)",
+    )
+    parser.add_argument("--out", type=Path, help="write the JSON report here")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=0.0,
+        help="exit non-zero if admit_vs_resolve falls below this speedup "
+        "(default 0: report only)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        sizes = {"small": 200, "large": 1000}
+        num_nodes, num_vnfs, repeats, churn_rounds = 24, 12, 2, 2
+    else:
+        sizes = {"2k": 2000, "20k": 20000}
+        num_nodes, num_vnfs, repeats, churn_rounds = 24, 12, 3, 3
+
+    results = {}
+    first_label = next(iter(sizes))
+    for label, num_active in sizes.items():
+        print(
+            f"building engine: {num_active} active requests, "
+            f"{num_nodes} nodes, {num_vnfs} VNFs (seed {args.seed})",
+            file=sys.stderr,
+        )
+        engine, w, base, extra = _build(
+            num_active, num_nodes, num_vnfs, args.seed
+        )
+
+        if label == first_label:
+            # Headline: admit vs from-scratch re-solve at this size.
+            resolve = _time(
+                lambda: solve_joint(w.vnfs, base, w.capacities), repeats
+            )
+            admit_s = _churn_per_op(engine, extra[:200], churn_rounds)
+            speedup = resolve["best_s"] / admit_s
+            results[f"admit_vs_resolve_{label}"] = {
+                "reference": resolve,
+                "vectorized": {
+                    "best_s": admit_s,
+                    "mean_s": admit_s,
+                    "repeats": churn_rounds,
+                },
+                "speedup": speedup,
+            }
+            print(
+                f"{'admit_vs_resolve_' + label:<24} "
+                f"resolve {resolve['best_s'] * 1e3:9.3f} ms   "
+                f"admit {admit_s * 1e6:9.3f} us   "
+                f"speedup {speedup:8.1f}x",
+                file=sys.stderr,
+            )
+
+        per_op = _churn_per_op(engine, extra, churn_rounds)
+        results[f"admit_depart_{label}"] = {
+            "vectorized": {
+                "best_s": per_op,
+                "mean_s": per_op,
+                "repeats": churn_rounds,
+            },
+            "ops_per_s": 1.0 / per_op,
+            "speedup": None,
+        }
+        print(
+            f"{'admit_depart_' + label:<24} (no ref)    "
+            f"{per_op * 1e6:9.3f} us/op  "
+            f"({1.0 / per_op:,.0f} ops/s)",
+            file=sys.stderr,
+        )
+
+        rebalance = _time(lambda: engine.rebalance(), repeats)
+        results[f"rebalance_{label}"] = {
+            "vectorized": rebalance,
+            "speedup": None,
+        }
+        print(
+            f"{'rebalance_' + label:<24} (one-time)  "
+            f"{rebalance['best_s'] * 1e3:9.3f} ms",
+            file=sys.stderr,
+        )
+
+    report = {
+        "scenario": {
+            "active_sizes": dict(sizes),
+            "num_nodes": num_nodes,
+            "num_vnfs": num_vnfs,
+            "seed": args.seed,
+            "quick": args.quick,
+        },
+        "results": results,
+    }
+    payload = json.dumps(report, indent=2)
+    print(payload)
+    if args.out:
+        args.out.write_text(payload + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+
+    speedup = results[f"admit_vs_resolve_{first_label}"]["speedup"]
+    if speedup < args.min_speedup:
+        print(
+            f"admit_vs_resolve_{first_label} speedup {speedup:.1f}x below "
+            f"{args.min_speedup}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,6 +28,12 @@ from repro.core.scaling import (
     size_instances,
 )
 from repro.core.local_search import RefinementReport, refine_placement
+from repro.core.incremental import (
+    AdmitReport,
+    DeploymentEngine,
+    RebalanceReport,
+    solve_joint,
+)
 from repro.core.online import OnlineScheduler
 from repro.core.topology_eval import (
     average_total_latency_on_topology,
@@ -54,4 +60,8 @@ __all__ = [
     "refine_placement",
     "RefinementReport",
     "OnlineScheduler",
+    "DeploymentEngine",
+    "AdmitReport",
+    "RebalanceReport",
+    "solve_joint",
 ]

@@ -17,6 +17,21 @@ are frozen; ``DeploymentState.vnfs``/``requests``/``node_capacities``
 are never replaced in-repo).  Owners therefore build a
 :class:`ScenarioArrays` lazily on first use and cache it forever.
 
+One exception: the *request rows* (and their chain CSR) support
+in-place mutation through :meth:`ScenarioArrays.append_request` /
+:meth:`ScenarioArrays.remove_request` — the substrate of the
+incremental :class:`~repro.core.incremental.DeploymentEngine`, where
+the request set churns while VNFs and nodes stay fixed.  Appends write
+into amortized-doubling backing buffers (the public columns are slices
+of them), removes shift the tail rows down, and both invalidate the
+two request-derived CSR caches (``vnf_requests`` /
+``vnf_chain_neighbors``) so the next query rebuilds them.  A mutated
+instance is column-for-column identical (exact, not approximate) to a
+from-scratch :meth:`ScenarioArrays.build` over the surviving request
+sequence — pinned by ``tests/core/test_arrays_mutation.py``.  The
+VNF/node columns and their caches (``node_str_rank``, topology
+attachment) remain immutable forever.
+
 The *dynamic* decision variables — the ``vnf_name -> node`` placement
 dict and the ``(request_id, vnf_name) -> k`` schedule dict — are
 mutable (e.g. :func:`repro.core.local_search.refine_placement` edits the
@@ -147,6 +162,16 @@ class ScenarioArrays:
     _topo_attach: Optional[Tuple[object, np.ndarray]] = field(
         default=None, repr=False
     )
+
+    # --- request-row mutation buffers (``None`` until first mutation) --
+    #: Amortized-doubling backing stores; the public request/chain
+    #: columns become slices of these after ``_ensure_mutable()``.
+    _lambda_buf: Optional[np.ndarray] = field(default=None, repr=False)
+    _P_buf: Optional[np.ndarray] = field(default=None, repr=False)
+    _eff_buf: Optional[np.ndarray] = field(default=None, repr=False)
+    _chain_req_buf: Optional[np.ndarray] = field(default=None, repr=False)
+    _chain_vnf_buf: Optional[np.ndarray] = field(default=None, repr=False)
+    _chain_ptr_buf: Optional[np.ndarray] = field(default=None, repr=False)
 
     # ------------------------------------------------------------------
     # Builders
@@ -533,6 +558,149 @@ class ScenarioArrays:
             ] = np.arange(len(self.node_keys))
             self._node_str_rank = rank
         return self._node_str_rank
+
+    # ------------------------------------------------------------------
+    # Request-row mutation (incremental serving)
+    # ------------------------------------------------------------------
+    def _ensure_mutable(self) -> None:
+        """Switch the request/chain columns onto growable backing buffers.
+
+        Idempotent; called by the first :meth:`append_request` /
+        :meth:`remove_request`.  ``request_ids``/``chain_names`` become
+        lists, the numpy request columns become slices of
+        amortized-doubling buffers.
+        """
+        if self._lambda_buf is not None:
+            return
+        self.request_ids = list(self.request_ids)
+        self.chain_names = list(self.chain_names)
+        n = len(self.request_ids)
+        c = len(self.chain_req)
+        rcap = max(4, 2 * n)
+        ccap = max(8, 2 * c)
+        self._lambda_buf = np.zeros(rcap, dtype=np.float64)
+        self._P_buf = np.zeros(rcap, dtype=np.float64)
+        self._eff_buf = np.zeros(rcap, dtype=np.float64)
+        self._chain_ptr_buf = np.zeros(rcap + 1, dtype=np.int64)
+        self._chain_req_buf = np.zeros(ccap, dtype=np.int64)
+        self._chain_vnf_buf = np.zeros(ccap, dtype=np.int64)
+        self._lambda_buf[:n] = self.lambda_r
+        self._P_buf[:n] = self.P_r
+        self._eff_buf[:n] = self.eff_rate
+        self._chain_ptr_buf[: n + 1] = self.chain_ptr
+        self._chain_req_buf[:c] = self.chain_req
+        self._chain_vnf_buf[:c] = self.chain_vnf
+        self._reslice(n, c)
+
+    @staticmethod
+    def _grown(buf: np.ndarray, need: int) -> np.ndarray:
+        """``buf`` itself, or a doubled copy with room for ``need``."""
+        if need <= len(buf):
+            return buf
+        new = np.zeros(max(need, 2 * len(buf)), dtype=buf.dtype)
+        new[: len(buf)] = buf
+        return new
+
+    def _reslice(self, num_requests: int, num_chain: int) -> None:
+        """Point the public columns at the live buffer prefixes."""
+        self.lambda_r = self._lambda_buf[:num_requests]
+        self.P_r = self._P_buf[:num_requests]
+        self.eff_rate = self._eff_buf[:num_requests]
+        self.chain_ptr = self._chain_ptr_buf[: num_requests + 1]
+        self.chain_req = self._chain_req_buf[:num_chain]
+        self.chain_vnf = self._chain_vnf_buf[:num_chain]
+
+    def _invalidate_request_caches(self) -> None:
+        self._vnf_req_csr = None
+        self._vnf_nbr_csr = None
+
+    def append_request(self, request) -> int:
+        """Append one request row (+ its chain entries); returns its index.
+
+        Amortized O(|chain|) via the doubling buffers.  The appended
+        columns are exactly what :meth:`build` would compute for the
+        extended request sequence (same IEEE ``lambda / P`` division),
+        and the request-derived CSR caches are invalidated.
+
+        Raises
+        ------
+        ValidationError
+            If ``request.request_id`` is already present.
+        """
+        rid = request.request_id
+        if rid in self.request_index:
+            raise ValidationError(
+                f"duplicate request id {rid!r} appended to ScenarioArrays"
+            )
+        self._ensure_mutable()
+        n = len(self.request_ids)
+        c = int(self.chain_ptr[n])
+        names = list(request.chain)
+        m = len(names)
+        self._lambda_buf = self._grown(self._lambda_buf, n + 1)
+        self._P_buf = self._grown(self._P_buf, n + 1)
+        self._eff_buf = self._grown(self._eff_buf, n + 1)
+        self._chain_ptr_buf = self._grown(self._chain_ptr_buf, n + 2)
+        self._chain_req_buf = self._grown(self._chain_req_buf, c + m)
+        self._chain_vnf_buf = self._grown(self._chain_vnf_buf, c + m)
+        lam = np.float64(request.arrival_rate)
+        p = np.float64(request.delivery_probability)
+        self._lambda_buf[n] = lam
+        self._P_buf[n] = p
+        self._eff_buf[n] = lam / p
+        idxs = [self.vnf_index.get(name, -1) for name in names]
+        self._chain_req_buf[c : c + m] = n
+        self._chain_vnf_buf[c : c + m] = idxs
+        self._chain_ptr_buf[n + 1] = c + m
+        self.request_ids.append(rid)
+        self.chain_names.extend(names)
+        self.request_index[rid] = n
+        if any(i < 0 for i in idxs):
+            self.chain_has_unknown = True
+        self._reslice(n + 1, c + m)
+        self._invalidate_request_caches()
+        return n
+
+    def remove_request(self, request_id: str) -> int:
+        """Remove one request row; returns the index it occupied.
+
+        Later rows shift down one slot (their chain entries shift with
+        them), so the surviving columns are exactly what :meth:`build`
+        would produce for the surviving request sequence.  O(rows after
+        the removed one); the request-derived CSR caches are
+        invalidated.
+
+        Raises
+        ------
+        ValidationError
+            If ``request_id`` is unknown.
+        """
+        i = self.request_index.get(request_id)
+        if i is None:
+            raise ValidationError(
+                f"cannot remove unknown request {request_id!r}"
+            )
+        self._ensure_mutable()
+        n = len(self.request_ids)
+        c = int(self.chain_ptr[n])
+        lo = int(self.chain_ptr[i])
+        hi = int(self.chain_ptr[i + 1])
+        gap = hi - lo
+        for buf in (self._lambda_buf, self._P_buf, self._eff_buf):
+            buf[i : n - 1] = buf[i + 1 : n].copy()
+        # Shifted chain entries all belong to requests after ``i``.
+        self._chain_req_buf[lo : c - gap] = self._chain_req_buf[hi:c] - 1
+        self._chain_vnf_buf[lo : c - gap] = self._chain_vnf_buf[hi:c].copy()
+        self._chain_ptr_buf[i:n] = self._chain_ptr_buf[i + 1 : n + 1] - gap
+        del self.request_ids[i]
+        del self.chain_names[lo:hi]
+        del self.request_index[request_id]
+        for rid in self.request_ids[i:]:
+            self.request_index[rid] -= 1
+        self._reslice(n - 1, c - gap)
+        self.chain_has_unknown = bool((self.chain_vnf < 0).any())
+        self._invalidate_request_caches()
+        return i
 
     def response_per_request(
         self,

@@ -1,0 +1,181 @@
+"""Shared solver delta kernels — the incremental-update building blocks.
+
+PR 3's array-native solvers all reduce to the same handful of
+incremental primitives: a bincount over chain-neighbor placements that
+scores every relocate target at once, an O(1) capacity fit check
+against a running load vector, trial-commit/revert bookkeeping against
+per-link bandwidth residuals, and a prefix-max record-breaker replay of
+the legacy sequential acceptance rule.  They used to live as private
+helpers inside :mod:`repro.core.local_search` and
+:mod:`repro.scheduling.swap_refine`; this module promotes them to a
+public, shared surface so the batch solvers and the incremental
+:class:`~repro.core.incremental.DeploymentEngine` run the *same* code.
+
+Byte-identity contract
+----------------------
+Every function here was moved verbatim (same numpy op sequence, same
+accumulation order, same tie-breaking) from its original call site.
+The batch solvers wired on top — ``refine_placement``,
+``swap_placement``, ``refine_assignment``, BFDSU — therefore remain
+byte-identical per seed to the pre-refactor implementations, which is
+pinned by ``tests/core/test_solver_kernel_parity.py`` against the
+legacy loops in ``benchmarks/_reference_impl.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+#: Capacity slack absorbing float accumulation error (the Eq. (6)
+#: convention).  BFDSU and the relocate/swap passes all compare against
+#: ``capacity + FIT_EPS``; :mod:`repro.placement.bfdsu` re-exports this
+#: for backward compatibility.
+FIT_EPS = 1e-9
+
+
+def relocate_scores(
+    placement_vec: np.ndarray,
+    nbr: np.ndarray,
+    demand: float,
+    loads: np.ndarray,
+    capacity_slack: np.ndarray,
+    num_nodes: int,
+    source: int,
+) -> tuple:
+    """Score every relocate target of one VNF in two bincount-style ops.
+
+    ``nbr`` is the VNF's chain-neighbor multiset slice
+    (:meth:`ScenarioArrays.vnf_chain_neighbors`); the hop delta of
+    moving the VNF from ``source`` to node ``t`` is
+    ``count(placement[nbr] == source) - count(placement[nbr] == t)``,
+    so ``neighbor_counts`` ranks all targets at once.  Targets without
+    capacity room (``loads + demand > capacity + FIT_EPS``) and the
+    source itself score ``-1``.
+
+    Returns ``(neighbor_counts, scores)``; a move to ``t`` improves the
+    Eq. (16) total iff ``scores[t] > neighbor_counts[source]``.
+    """
+    neighbor_counts = np.bincount(
+        placement_vec[nbr], minlength=num_nodes
+    )
+    fits = loads + demand <= capacity_slack
+    scores = np.where(fits, neighbor_counts, -1)
+    scores[source] = -1
+    return neighbor_counts, scores
+
+
+def best_bandwidth_feasible(
+    network,
+    fi: int,
+    source: int,
+    placement_vec: np.ndarray,
+    link_loads: np.ndarray,
+    scores: np.ndarray,
+    source_score: int,
+) -> Optional[int]:
+    """Best improving target that also passes the link-bandwidth check.
+
+    Scans candidates in descending score (ties in node order — the same
+    ranking the unconstrained argmax applies) and returns the first that
+    fits, with ``link_loads`` updated to the committed move; returns
+    ``None`` (state untouched) when no improving target fits.
+    """
+    # Retract f's routed flows so the residuals describe "f unplaced".
+    network.add_flows(fi, source, placement_vec, link_loads, -1.0)
+    placement_vec[fi] = -1
+    chosen: Optional[int] = None
+    for t in np.argsort(-scores, kind="stable"):
+        t = int(t)
+        if scores[t] <= source_score:
+            break
+        if network.fits(fi, t, placement_vec, link_loads):
+            chosen = t
+            break
+    if chosen is None:
+        placement_vec[fi] = source
+        network.add_flows(fi, source, placement_vec, link_loads, 1.0)
+        return None
+    network.add_flows(fi, chosen, placement_vec, link_loads, 1.0)
+    return chosen
+
+
+def try_swap_bandwidth(
+    network, f: int, g: int, s: int, t: int, pl: np.ndarray, link_loads
+) -> bool:
+    """Trial-commit the swap against link bandwidth; False reverts all.
+
+    On True, ``link_loads`` reflects the swapped flows and ``pl`` holds
+    the swapped nodes (the caller's subsequent assignment is a no-op).
+    """
+    network.add_flows(f, s, pl, link_loads, -1.0)
+    pl[f] = -1
+    network.add_flows(g, t, pl, link_loads, -1.0)
+    pl[g] = -1
+    if not network.fits(f, t, pl, link_loads):
+        network.add_flows(g, t, pl, link_loads, 1.0)
+        pl[g] = t
+        network.add_flows(f, s, pl, link_loads, 1.0)
+        pl[f] = s
+        return False
+    network.add_flows(f, t, pl, link_loads, 1.0)
+    pl[f] = t
+    if not network.fits(g, s, pl, link_loads):
+        network.add_flows(f, t, pl, link_loads, -1.0)
+        pl[f] = -1
+        network.add_flows(g, t, pl, link_loads, 1.0)
+        pl[g] = t
+        network.add_flows(f, s, pl, link_loads, 1.0)
+        pl[f] = s
+        return False
+    network.add_flows(g, s, pl, link_loads, 1.0)
+    pl[g] = s
+    return True
+
+
+def select_improving_record_breaker(
+    deltas: np.ndarray, margin: float = 1e-12
+) -> int:
+    """Replay the legacy sequential acceptance rule on a delta vector.
+
+    The legacy candidate scans accepted ``delta > best + margin`` with
+    ``best`` updated on accept — so the accepted candidates are all
+    strict prefix-maximum record breakers.  A ``maximum.accumulate``
+    prefix scan extracts the record breakers; the margin rule replayed
+    on that short list selects the identical winner.  Returns the flat
+    index of the winning candidate, or ``-1`` when none improves.
+    """
+    prev = np.concatenate(
+        ([-np.inf], np.maximum.accumulate(deltas)[:-1])
+    )
+    best_delta = 0.0
+    sel = -1
+    for i in np.flatnonzero(deltas > prev):
+        if deltas[i] > best_delta + margin:
+            best_delta = float(deltas[i])
+            sel = int(i)
+    return sel
+
+
+def weighted_draw_index(
+    residuals: np.ndarray,
+    demand: float,
+    rng: np.random.Generator,
+    offset: float = 1.0,
+) -> int:
+    """Draw a position from ``residuals`` (ascending-RST candidate order).
+
+    The kernel form of BFDSU Algorithm 1's lines 12-16: weights
+    ``1 / (offset + RST(v) - D_f^sum)``, one ``uniform(0, sum(weights))``
+    RNG consumption, selection by ``searchsorted`` over the cumulative
+    weights.  The cumulative sum accumulates left-to-right exactly like
+    the legacy running total, so the same ``xi`` selects the same
+    position.  The floating-point edge ``xi == sum(weights)`` returns
+    the last candidate, as the legacy loop's fall-through did.
+    """
+    weights = 1.0 / (offset + residuals - demand)
+    cumulative = weights.cumsum()
+    xi = rng.uniform(0.0, float(cumulative[-1]))
+    pos = int(cumulative.searchsorted(xi, side="right"))
+    return min(pos, len(weights) - 1)

@@ -1,0 +1,441 @@
+"""Incremental deployment engine — admit/depart/rebalance over churn.
+
+The paper's two-phase optimizer solves placement and scheduling for a
+*known* request set; in operation requests arrive and depart
+continuously (the online joint placement regime of Xu et al. and the
+incremental-embedding loop of B-JointSP).  :class:`DeploymentEngine`
+turns the batch machinery into a long-running service:
+
+* **admit(request)** — O(chain) warm-start join: each chain VNF picks
+  its least-loaded instance (:func:`~repro.scheduling.least_loaded
+  .least_loaded_admit`), gated by the Eq. (9) utilization cap and, with
+  a fabric attached, by the per-link bandwidth residuals
+  (:meth:`~repro.topology.network.NetworkModel.chain_fits`).  A
+  rejected admit leaves every residual untouched.
+* **depart(request_id)** — exact inverse: instance loads and routed
+  chain flows are retracted, the request row leaves the columnar
+  scenario (:meth:`~repro.core.arrays.ScenarioArrays.remove_request`).
+* **rebalance()** — periodic re-optimization: a from-scratch two-phase
+  solve (BFDSU + the configured scheduler) over the *surviving*
+  requests with a fresh seeded RNG, reporting how many VNFs moved and
+  how many schedule entries migrated.
+
+Determinism contract
+--------------------
+``rebalance()`` re-solves with ``np.random.default_rng(seed)`` — the
+same seed every time — over the survivors in arrival order.  The state
+after any admit/depart sequence followed by ``rebalance()`` is
+therefore *identical* to :func:`solve_joint` on the surviving request
+set, with and without ``bandwidth=`` (pinned by
+``tests/core/test_incremental.py``).  Between rebalances the engine's
+residual bookkeeping (instance loads, link loads) matches a
+from-scratch recompute to float accumulation error.
+
+The solvers underneath run the exact kernels of the batch path
+(:mod:`repro.core.deltas`); see ``docs/SERVING.md`` for the full
+contract (what is O(1), what triggers a rebuild).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.admission import DEFAULT_TARGET_UTILIZATION
+from repro.core.arrays import ScenarioArrays
+from repro.exceptions import SchedulingError
+from repro.nfv.request import Request
+from repro.nfv.state import DeploymentState
+from repro.nfv.vnf import VNF
+from repro.placement.base import PlacementProblem
+from repro.placement.bfdsu import BFDSUPlacement
+from repro.scheduling.base import SchedulingAlgorithm, schedule_all_vnfs
+from repro.scheduling.least_loaded import least_loaded_admit
+from repro.scheduling.rckk import RCKKScheduler
+from repro.seeding import DEFAULT_SEED
+
+__all__ = [
+    "AdmitReport",
+    "DeploymentEngine",
+    "RebalanceReport",
+    "solve_joint",
+]
+
+
+def _fresh_rng(seed: Optional[int]) -> np.random.Generator:
+    """The engine's seed policy: one fixed seed, fresh stream per solve."""
+    return np.random.default_rng(DEFAULT_SEED if seed is None else int(seed))
+
+
+def _distinct_chains(requests: Sequence[Request]) -> tuple:
+    """Distinct service chains in first-seen order (JointOptimizer's rule)."""
+    seen = set()
+    chains = []
+    for request in requests:
+        key = request.chain.vnf_names
+        if key not in seen:
+            seen.add(key)
+            chains.append(request.chain)
+    return tuple(chains)
+
+
+def solve_joint(
+    vnfs: Sequence[VNF],
+    requests: Sequence[Request],
+    node_capacities: Mapping[Hashable, float],
+    *,
+    seed: Optional[int] = None,
+    scheduler: Optional[SchedulingAlgorithm] = None,
+    topology=None,
+    bandwidth=None,
+) -> DeploymentState:
+    """One from-scratch two-phase solve under the engine's seed policy.
+
+    This is exactly what :meth:`DeploymentEngine.rebalance` runs over
+    the surviving request set: BFDSU with ``default_rng(seed)`` (with a
+    bandwidth-constrained candidate filter when ``topology`` is given)
+    followed by the scheduler over the requests *in the given order*.
+    Exposed so the identity between the engine under churn and a batch
+    re-solve is checkable — and so callers can price that re-solve.
+    """
+    from repro.topology.network import NetworkModel
+
+    chains = _distinct_chains(requests)
+    problem = PlacementProblem(
+        vnfs=vnfs, capacities=node_capacities, chains=chains
+    )
+    network = None
+    if topology is not None:
+        network = NetworkModel.for_problem(
+            problem, topology, requests=requests, bandwidth=bandwidth
+        )
+    placement_result = BFDSUPlacement(
+        rng=_fresh_rng(seed), network=network
+    ).place(problem)
+    algorithm = scheduler if scheduler is not None else RCKKScheduler()
+    schedule = schedule_all_vnfs(vnfs, requests, algorithm)
+    state = DeploymentState(
+        vnfs=list(vnfs),
+        requests=list(requests),
+        node_capacities=dict(node_capacities),
+        placement=dict(placement_result.placement),
+        schedule=schedule,
+    )
+    state.validate()
+    return state
+
+
+@dataclass(frozen=True)
+class AdmitReport:
+    """Outcome of one :meth:`DeploymentEngine.admit` call."""
+
+    request_id: str
+    admitted: bool
+    #: ``vnf_name -> instance k`` for an admitted request; empty else.
+    assignment: Dict[str, int] = field(default_factory=dict)
+    #: ``None`` when admitted; ``"capacity"`` / ``"bandwidth"`` else.
+    reason: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class RebalanceReport:
+    """Outcome of one :meth:`DeploymentEngine.rebalance` call."""
+
+    #: VNFs whose hosting node changed.
+    placement_moves: int
+    #: Surviving ``(request, vnf)`` entries whose instance changed.
+    schedule_migrations: int
+    #: Requests active at rebalance time.
+    active_requests: int
+
+    @property
+    def total_migrations(self) -> int:
+        return self.placement_moves + self.schedule_migrations
+
+
+class DeploymentEngine:
+    """Mutable joint deployment under request churn.
+
+    Owns the placement vector, per-instance load residuals, the
+    ``(request_id, vnf_name) -> k`` schedule and (with a fabric) the
+    per-link routed-flow residuals, all kept incrementally consistent
+    by :meth:`admit` / :meth:`depart` and reset to the batch optimum by
+    :meth:`rebalance`.
+
+    Parameters
+    ----------
+    vnfs, node_capacities:
+        The static infrastructure (``F`` and ``A_v``); immutable for
+        the engine's lifetime — only requests churn.
+    requests:
+        Initially active requests; the engine starts from a full
+        re-solve over them.
+    seed:
+        The rebalance seed policy (default
+        :data:`~repro.seeding.DEFAULT_SEED`); every rebalance re-solves
+        with a fresh ``default_rng(seed)``.
+    scheduler:
+        Rebalance-time scheduling algorithm (default RCKK).  Admits
+        use the warm-start least-loaded rule regardless.
+    topology, bandwidth:
+        Optional fabric: admits gain a link-bandwidth gate and
+        rebalances run bandwidth-constrained BFDSU.  ``bandwidth``
+        follows :meth:`NetworkModel.build`'s convention.
+    target_utilization:
+        Admission cap per instance: a chain VNF join is rejected when
+        its least-loaded instance would exceed
+        ``mu_f * target_utilization`` (the Eq. (9) stability margin of
+        :mod:`repro.core.admission`).  ``None`` disables the cap.
+    """
+
+    def __init__(
+        self,
+        vnfs: Sequence[VNF],
+        node_capacities: Mapping[Hashable, float],
+        requests: Sequence[Request] = (),
+        *,
+        seed: Optional[int] = None,
+        scheduler: Optional[SchedulingAlgorithm] = None,
+        topology=None,
+        bandwidth=None,
+        target_utilization: Optional[float] = DEFAULT_TARGET_UTILIZATION,
+    ) -> None:
+        self._vnfs = tuple(vnfs)
+        self._capacities = dict(node_capacities)
+        self._seed = DEFAULT_SEED if seed is None else int(seed)
+        self._scheduler = scheduler if scheduler is not None else RCKKScheduler()
+        self._topology = topology
+        self._bandwidth = bandwidth
+        self._target = target_utilization
+        self._arrays = ScenarioArrays.build(
+            self._vnfs, requests, self._capacities
+        )
+        #: Active requests in arrival order (dicts preserve insertion).
+        self._requests: Dict[str, Request] = {
+            r.request_id: r for r in requests
+        }
+        if len(self._requests) != len(tuple(requests)):
+            raise SchedulingError("duplicate request ids in initial set")
+        self._placement: Dict[str, Hashable] = {}
+        self._placement_vec = np.full(len(self._vnfs), -1, dtype=np.int64)
+        self._schedule: Dict[Tuple[str, str], int] = {}
+        self._inst_loads = np.zeros(self._arrays.num_instances)
+        self._network = None
+        self._link_loads: Optional[np.ndarray] = None
+        self._resolve()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_active(self) -> int:
+        return len(self._requests)
+
+    @property
+    def target_utilization(self) -> Optional[float]:
+        """The admission cap (``None`` when disabled)."""
+        return self._target
+
+    @property
+    def active_requests(self) -> Tuple[str, ...]:
+        """Active request ids, in arrival order."""
+        return tuple(self._requests)
+
+    @property
+    def placement(self) -> Dict[str, Hashable]:
+        """``vnf_name -> node`` (copy)."""
+        return dict(self._placement)
+
+    def instance_loads(self) -> np.ndarray:
+        """Equivalent arrival rate per global instance (copy)."""
+        return self._inst_loads.copy()
+
+    def assignment_of(self, request_id: str) -> Dict[str, int]:
+        """``vnf_name -> instance k`` of one active request."""
+        request = self._requests.get(request_id)
+        if request is None:
+            raise SchedulingError(f"unknown request {request_id!r}")
+        return {
+            name: self._schedule[(request_id, name)]
+            for name in request.chain
+        }
+
+    def state(self) -> DeploymentState:
+        """The current deployment as a validated batch-layer object."""
+        state = DeploymentState(
+            vnfs=list(self._vnfs),
+            requests=list(self._requests.values()),
+            node_capacities=dict(self._capacities),
+            placement=dict(self._placement),
+            schedule=dict(self._schedule),
+        )
+        state.validate()
+        return state
+
+    # ------------------------------------------------------------------
+    # Churn operations
+    # ------------------------------------------------------------------
+    def admit(self, request: Request) -> AdmitReport:
+        """Warm-start join of one arriving request (O(chain) kernels).
+
+        Each chain VNF joins its least-loaded instance if that keeps
+        the instance within ``mu_f * target_utilization``; with a
+        fabric, the chain's routed flow must also fit every link's
+        residual bandwidth.  On rejection nothing changes.
+
+        Raises
+        ------
+        SchedulingError
+            If the id is already active or the chain references a VNF
+            unknown to the engine (caller errors, not admission
+            outcomes).
+        """
+        rid = request.request_id
+        if rid in self._requests:
+            raise SchedulingError(f"request {rid!r} is already active")
+        arrays = self._arrays
+        chain_names = list(request.chain)
+        chain_idx = np.empty(len(chain_names), dtype=np.int64)
+        for i, name in enumerate(chain_names):
+            fi = arrays.vnf_index.get(name)
+            if fi is None:
+                raise SchedulingError(
+                    f"request {rid!r} uses unknown VNF {name!r}"
+                )
+            chain_idx[i] = fi
+        eff = float(request.effective_rate)
+
+        joins: List[Tuple[int, int]] = []  # (vnf index, instance k)
+        for fi in chain_idx:
+            fi = int(fi)
+            off = int(arrays.instance_offset[fi])
+            m = int(arrays.M_f[fi])
+            cap = (
+                None
+                if self._target is None
+                else float(arrays.mu_f[fi]) * self._target
+            )
+            k = least_loaded_admit(
+                self._inst_loads[off : off + m], eff, capacity=cap
+            )
+            if k < 0:
+                return AdmitReport(
+                    request_id=rid, admitted=False, reason="capacity"
+                )
+            joins.append((fi, k))
+        if self._network is not None and not self._network.chain_fits(
+            chain_idx, self._placement_vec, self._link_loads, eff
+        ):
+            return AdmitReport(
+                request_id=rid, admitted=False, reason="bandwidth"
+            )
+
+        # Commit.
+        arrays.append_request(request)
+        self._requests[rid] = request
+        assignment: Dict[str, int] = {}
+        for (fi, k), name in zip(joins, chain_names):
+            self._schedule[(rid, name)] = k
+            self._inst_loads[int(arrays.instance_offset[fi]) + k] += eff
+            assignment[name] = k
+        if self._network is not None:
+            self._network.add_chain_flows(
+                chain_idx, self._placement_vec, self._link_loads, eff
+            )
+        return AdmitReport(
+            request_id=rid, admitted=True, assignment=assignment
+        )
+
+    def depart(self, request_id: str) -> None:
+        """Retract one active request — the exact inverse of its admit.
+
+        Raises
+        ------
+        SchedulingError
+            If ``request_id`` is not active.
+        """
+        request = self._requests.pop(request_id, None)
+        if request is None:
+            raise SchedulingError(f"unknown request {request_id!r}")
+        arrays = self._arrays
+        eff = float(request.effective_rate)
+        chain_names = list(request.chain)
+        chain_idx = np.empty(len(chain_names), dtype=np.int64)
+        for i, name in enumerate(chain_names):
+            fi = arrays.vnf_index[name]
+            chain_idx[i] = fi
+            k = self._schedule.pop((request_id, name))
+            self._inst_loads[int(arrays.instance_offset[fi]) + k] -= eff
+        if self._network is not None:
+            self._network.add_chain_flows(
+                chain_idx, self._placement_vec, self._link_loads, eff, -1.0
+            )
+        arrays.remove_request(request_id)
+
+    def rebalance(self) -> RebalanceReport:
+        """Re-solve both phases over the survivors (fresh seeded RNG).
+
+        The resulting state is byte-identical to :func:`solve_joint`
+        over the surviving requests in arrival order — warm-start
+        drift from admits/departs is fully reset.
+        """
+        old_placement = dict(self._placement)
+        old_schedule = dict(self._schedule)
+        self._resolve()
+        moves = sum(
+            1
+            for name, node in self._placement.items()
+            if old_placement.get(name) != node
+        )
+        migrations = sum(
+            1
+            for key, k in self._schedule.items()
+            if key in old_schedule and old_schedule[key] != k
+        )
+        return RebalanceReport(
+            placement_moves=moves,
+            schedule_migrations=migrations,
+            active_requests=len(self._requests),
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _resolve(self) -> None:
+        """Full two-phase solve over the active set; resets residuals."""
+        from repro.topology.network import NetworkModel
+
+        survivors = list(self._requests.values())
+        chains = _distinct_chains(survivors)
+        problem = PlacementProblem(
+            vnfs=self._vnfs, capacities=self._capacities, chains=chains
+        )
+        network = None
+        if self._topology is not None:
+            network = NetworkModel.for_problem(
+                problem,
+                self._topology,
+                requests=survivors,
+                bandwidth=self._bandwidth,
+            )
+        placement_result = BFDSUPlacement(
+            rng=_fresh_rng(self._seed), network=network
+        ).place(problem)
+        self._placement = dict(placement_result.placement)
+        self._placement_vec = self._arrays.placement_vector(self._placement)
+        self._schedule = schedule_all_vnfs(
+            self._vnfs, survivors, self._scheduler
+        )
+        if self._schedule:
+            sched = self._arrays.schedule_arrays(self._schedule)
+            self._inst_loads, _, _ = self._arrays.instance_rates(sched)
+        else:
+            self._inst_loads = np.zeros(self._arrays.num_instances)
+        self._network = network
+        self._link_loads = (
+            network.link_loads(self._placement_vec)
+            if network is not None
+            else None
+        )

@@ -34,6 +34,12 @@ the Eq. (6) fit check O(1) per candidate.  The move sequence and final
 report are identical to the full-recount hill climb, which is preserved
 as ``reference_refine_placement`` in ``benchmarks/_reference_impl.py``
 and pinned by ``tests/core/test_solver_kernel_parity.py``.
+
+The primitives themselves — the relocate score kernel, the
+bandwidth-feasible target scan, the trial-commit swap — live in
+:mod:`repro.core.deltas`, shared with the incremental
+:class:`~repro.core.incremental.DeploymentEngine`; this module wires
+them into the batch hill climbs.
 """
 
 from __future__ import annotations
@@ -43,6 +49,12 @@ from typing import Hashable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.deltas import (
+    FIT_EPS,
+    best_bandwidth_feasible,
+    relocate_scores,
+    try_swap_bandwidth,
+)
 from repro.exceptions import ValidationError
 from repro.nfv.state import DeploymentState
 
@@ -160,8 +172,8 @@ def _refine_delta(
     arrays = state.arrays()
     num_nodes = len(arrays.node_keys)
     nbr_ptr, nbr = arrays.vnf_chain_neighbors()
-    # Legacy fit check: load(target) + D_f^sum <= A_v + 1e-9.
-    capacity_slack = arrays.A_v + 1e-9
+    # Legacy fit check: load(target) + D_f^sum <= A_v + FIT_EPS.
+    capacity_slack = arrays.A_v + FIT_EPS
 
     initial_hops = total_inter_node_hops(state)
     current_hops = initial_hops
@@ -181,12 +193,15 @@ def _refine_delta(
                 # improvements.
                 continue
             source = int(placement_vec[fi])
-            neighbor_counts = np.bincount(
-                placement_vec[nbr[lo:hi]], minlength=num_nodes
+            neighbor_counts, scores = relocate_scores(
+                placement_vec,
+                nbr[lo:hi],
+                arrays.total_demand_f[fi],
+                loads,
+                capacity_slack,
+                num_nodes,
+                source,
             )
-            fits = loads + arrays.total_demand_f[fi] <= capacity_slack
-            scores = np.where(fits, neighbor_counts, -1)
-            scores[source] = -1
             if network is None:
                 # First-best target in node order == the legacy scan
                 # that kept the first strict improvement over the
@@ -195,7 +210,7 @@ def _refine_delta(
                 if scores[target] <= neighbor_counts[source]:
                     continue
             else:
-                target = _best_bandwidth_feasible(
+                target = best_bandwidth_feasible(
                     network,
                     fi,
                     source,
@@ -230,41 +245,6 @@ def _refine_delta(
         final_hops=current_hops,
         hops_saved=initial_hops - current_hops,
     )
-
-
-def _best_bandwidth_feasible(
-    network,
-    fi: int,
-    source: int,
-    placement_vec: np.ndarray,
-    link_loads: np.ndarray,
-    scores: np.ndarray,
-    source_score: int,
-) -> Optional[int]:
-    """Best improving target that also passes the link-bandwidth check.
-
-    Scans candidates in descending score (ties in node order — the same
-    ranking the unconstrained argmax applies) and returns the first that
-    fits, with ``link_loads`` updated to the committed move; returns
-    ``None`` (state untouched) when no improving target fits.
-    """
-    # Retract f's routed flows so the residuals describe "f unplaced".
-    network.add_flows(fi, source, placement_vec, link_loads, -1.0)
-    placement_vec[fi] = -1
-    chosen: Optional[int] = None
-    for t in np.argsort(-scores, kind="stable"):
-        t = int(t)
-        if scores[t] <= source_score:
-            break
-        if network.fits(fi, t, placement_vec, link_loads):
-            chosen = t
-            break
-    if chosen is None:
-        placement_vec[fi] = source
-        network.add_flows(fi, source, placement_vec, link_loads, 1.0)
-        return None
-    network.add_flows(fi, chosen, placement_vec, link_loads, 1.0)
-    return chosen
 
 
 def _refine_scalar(
@@ -418,7 +398,7 @@ def swap_placement(
     if len(owners):
         np.add.at(multiplicity, (owners, nbr), 1.0)
     demands = arrays.total_demand_f
-    capacity_slack = arrays.A_v + 1e-9
+    capacity_slack = arrays.A_v + FIT_EPS
     loads = arrays.node_loads(placement_vec)
     link_loads = (
         network.link_loads(placement_vec) if network is not None else None
@@ -460,7 +440,7 @@ def swap_placement(
         for k in np.argsort(delta[candidate], kind="stable"):
             f, g = (int(x) for x in pairs[k])
             s, t = int(pl[f]), int(pl[g])
-            if network is not None and not _try_swap_bandwidth(
+            if network is not None and not try_swap_bandwidth(
                 network, f, g, s, t, pl, link_loads
             ):
                 continue
@@ -491,39 +471,6 @@ def swap_placement(
         final_latency=final,
         latency_saved=initial - final,
     )
-
-
-def _try_swap_bandwidth(
-    network, f: int, g: int, s: int, t: int, pl: np.ndarray, link_loads
-) -> bool:
-    """Trial-commit the swap against link bandwidth; False reverts all.
-
-    On True, ``link_loads`` reflects the swapped flows and ``pl`` holds
-    the swapped nodes (the caller's subsequent assignment is a no-op).
-    """
-    network.add_flows(f, s, pl, link_loads, -1.0)
-    pl[f] = -1
-    network.add_flows(g, t, pl, link_loads, -1.0)
-    pl[g] = -1
-    if not network.fits(f, t, pl, link_loads):
-        network.add_flows(g, t, pl, link_loads, 1.0)
-        pl[g] = t
-        network.add_flows(f, s, pl, link_loads, 1.0)
-        pl[f] = s
-        return False
-    network.add_flows(f, t, pl, link_loads, 1.0)
-    pl[f] = t
-    if not network.fits(g, s, pl, link_loads):
-        network.add_flows(f, t, pl, link_loads, -1.0)
-        pl[f] = -1
-        network.add_flows(g, t, pl, link_loads, 1.0)
-        pl[g] = t
-        network.add_flows(f, s, pl, link_loads, 1.0)
-        pl[f] = s
-        return False
-    network.add_flows(g, s, pl, link_loads, 1.0)
-    pl[g] = s
-    return True
 
 
 def _fits_after_move(

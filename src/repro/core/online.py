@@ -13,6 +13,17 @@ requests arrive and depart over time; the natural deployment is:
 the imbalance trajectory, so the value of periodic rebalancing (and its
 migration cost) can be quantified against pure-online and pure-offline
 extremes — the dynamics the paper defers to future SDN-coordinated work.
+
+Since the incremental-serving refactor this class is a thin single-VNF
+facade over :class:`~repro.core.incremental.DeploymentEngine` — one
+online code path.  The standalone per-VNF rebalance loop it used to
+carry is gone (deprecated); ``rebalance()`` now delegates to the
+engine's full re-solve, configured with an id-sorted RCKK pass so the
+legacy trajectory semantics are preserved exactly: least-loaded joins
+with first-index tie-break, RCKK over the active ids in sorted order,
+migration counts per changed assignment.  New code that needs churn
+over whole chains (or capacity/bandwidth admission) should use the
+engine directly.
 """
 
 from __future__ import annotations
@@ -21,9 +32,15 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.exceptions import SchedulingError, ValidationError
+from repro.nfv.chain import ServiceChain
 from repro.nfv.request import Request
 from repro.nfv.vnf import VNF
-from repro.partition.rckk import rckk_partition
+from repro.scheduling.base import (
+    SchedulingAlgorithm,
+    SchedulingProblem,
+    ScheduleResult,
+)
+from repro.scheduling.rckk import RCKKScheduler
 
 
 @dataclass
@@ -39,6 +56,33 @@ class OnlineSnapshot:
     def spread(self) -> float:
         """Max-min instance rate at this point."""
         return max(self.instance_rates) - min(self.instance_rates)
+
+
+class _IdSortedScheduler(SchedulingAlgorithm):
+    """Delegate that feeds the base scheduler id-sorted requests.
+
+    The legacy ``OnlineScheduler.rebalance`` partitioned the active
+    rates in sorted-request-id order; the engine schedules in arrival
+    order.  Sorting the per-VNF problem first reproduces the legacy
+    partitions (hence trajectories) exactly.
+    """
+
+    def __init__(self, base: SchedulingAlgorithm) -> None:
+        self._base = base
+        self.name = f"IdSorted({base.name})"
+
+    def schedule(self, problem: SchedulingProblem) -> ScheduleResult:
+        ordered = SchedulingProblem(
+            vnf=problem.vnf,
+            requests=sorted(problem.requests, key=lambda r: r.request_id),
+        )
+        result = self._base.schedule(ordered)
+        return ScheduleResult(
+            assignment=result.assignment,
+            problem=problem,
+            iterations=result.iterations,
+            algorithm=self.name,
+        )
 
 
 class OnlineScheduler:
@@ -58,11 +102,22 @@ class OnlineScheduler:
             raise ValidationError(
                 f"rebalance_every must be >= 0, got {rebalance_every!r}"
             )
+        # Local import: repro.core.incremental imports the placement /
+        # scheduling layers, which the package __init__ loads after
+        # this module.
+        from repro.core.incremental import DeploymentEngine
+
         self._vnf = vnf
         self._rebalance_every = rebalance_every
-        self._assignment: Dict[str, int] = {}
-        self._requests: Dict[str, Request] = {}
-        self._loads = [0.0] * vnf.num_instances
+        # Single-VNF engine on one virtual node: joins are unconditional
+        # (no utilization cap), exactly like the legacy least-loaded
+        # loop, and "placement" is trivially pinned.
+        self._engine = DeploymentEngine(
+            vnfs=[vnf],
+            node_capacities={"node0": vnf.total_demand},
+            scheduler=_IdSortedScheduler(RCKKScheduler()),
+            target_utilization=None,
+        )
         self._arrivals_since_rebalance = 0
         self.total_migrations = 0
         self.history: List[OnlineSnapshot] = []
@@ -78,15 +133,17 @@ class OnlineScheduler:
                 f"request {request.request_id!r} does not use VNF "
                 f"{self._vnf.name!r}"
             )
-        if request.request_id in self._requests:
-            raise SchedulingError(
-                f"request {request.request_id!r} already active"
+        # Only this VNF's hop matters here; re-wrap multi-VNF chains so
+        # the engine need not know the rest of the chain.  Duplicate
+        # ids raise SchedulingError inside admit, before any change.
+        self._engine.admit(
+            Request(
+                request_id=request.request_id,
+                chain=ServiceChain([self._vnf.name]),
+                arrival_rate=request.arrival_rate,
+                delivery_probability=request.delivery_probability,
             )
-        # Join the least-loaded instance.
-        k = min(range(len(self._loads)), key=lambda i: (self._loads[i], i))
-        self._assignment[request.request_id] = k
-        self._requests[request.request_id] = request
-        self._loads[k] += request.effective_rate
+        )
         self._arrivals_since_rebalance += 1
         if (
             self._rebalance_every
@@ -95,39 +152,28 @@ class OnlineScheduler:
             self.rebalance()
             self._arrivals_since_rebalance = 0
         self._snapshot()
-        return self._assignment[request.request_id]
+        return self.assignment_of(request.request_id)
 
     def depart(self, request_id: str) -> None:
         """Remove a finished request."""
-        request = self._requests.pop(request_id, None)
-        if request is None:
-            raise SchedulingError(f"request {request_id!r} is not active")
-        k = self._assignment.pop(request_id)
-        self._loads[k] -= request.effective_rate
+        try:
+            self._engine.depart(request_id)
+        except SchedulingError:
+            raise SchedulingError(
+                f"request {request_id!r} is not active"
+            ) from None
         self._snapshot()
 
     def rebalance(self) -> int:
-        """Re-run RCKK over the active set; returns migrations performed."""
-        if not self._requests:
+        """Re-run RCKK over the active set; returns migrations performed.
+
+        Delegates to :meth:`DeploymentEngine.rebalance` (the legacy
+        standalone rebalance loop is deprecated and gone).
+        """
+        if not self._engine.num_active:
             return 0
-        ids = sorted(self._requests)
-        rates = [self._requests[rid].effective_rate for rid in ids]
-        partition = rckk_partition(rates, self._vnf.num_instances)
-        # Map partition ways onto existing instances to minimize
-        # migrations: greedy match by overlap of current members.
-        new_assignment: Dict[str, int] = {}
-        for way, subset in enumerate(partition.subsets):
-            for idx in subset:
-                new_assignment[ids[idx]] = way
-        migrations = sum(
-            1
-            for rid in ids
-            if new_assignment[rid] != self._assignment[rid]
-        )
-        self._assignment = new_assignment
-        self._loads = [0.0] * self._vnf.num_instances
-        for rid, k in self._assignment.items():
-            self._loads[k] += self._requests[rid].effective_rate
+        report = self._engine.rebalance()
+        migrations = report.schedule_migrations
         self.total_migrations += migrations
         self._snapshot()
         return migrations
@@ -138,21 +184,22 @@ class OnlineScheduler:
     @property
     def active_requests(self) -> int:
         """Currently admitted requests."""
-        return len(self._requests)
+        return self._engine.num_active
 
     def instance_rates(self) -> List[float]:
         """Current per-instance aggregate effective rates."""
-        return list(self._loads)
+        return [float(x) for x in self._engine.instance_loads()]
 
     def spread(self) -> float:
         """Current max-min instance rate."""
-        return max(self._loads) - min(self._loads)
+        rates = self.instance_rates()
+        return max(rates) - min(rates)
 
     def assignment_of(self, request_id: str) -> int:
         """Current instance of an active request."""
         try:
-            return self._assignment[request_id]
-        except KeyError:
+            return self._engine.assignment_of(request_id)[self._vnf.name]
+        except SchedulingError:
             raise SchedulingError(
                 f"request {request_id!r} is not active"
             ) from None
@@ -162,8 +209,8 @@ class OnlineScheduler:
         self.history.append(
             OnlineSnapshot(
                 event_index=self._events,
-                active_requests=len(self._requests),
-                instance_rates=tuple(self._loads),
+                active_requests=self._engine.num_active,
+                instance_rates=tuple(self.instance_rates()),
                 migrations=self.total_migrations,
             )
         )

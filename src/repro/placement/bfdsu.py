@@ -50,6 +50,7 @@ from typing import Dict, Hashable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.deltas import FIT_EPS, weighted_draw_index as _weighted_draw_index
 from repro.exceptions import MaxRestartsExceededError
 from repro.placement.base import (
     PlacementAlgorithm,
@@ -59,11 +60,16 @@ from repro.placement.base import (
 )
 from repro.seeding import RngLike, resolve_rng
 
+__all__ = [
+    "BFDSUPlacement",
+    "FIT_EPS",
+    "WEIGHT_OFFSET",
+    "placement_weights",
+    "weighted_draw_index",
+]
+
 #: The additive constant keeping the weight denominator nonzero (paper).
 WEIGHT_OFFSET = 1.0
-
-#: Capacity slack absorbing float accumulation error (matches Eq. 6).
-FIT_EPS = 1e-9
 
 
 def placement_weights(
@@ -85,19 +91,13 @@ def weighted_draw_index(
 ) -> int:
     """Draw a position from ``residuals`` (ascending-RST candidate order).
 
-    The kernel form of Algorithm 1's lines 12-16: weights via
-    :func:`placement_weights` semantics, one ``uniform(0, sum(weights))``
-    RNG consumption, selection by ``searchsorted`` over the cumulative
-    weights.  The cumulative sum accumulates left-to-right exactly like
-    the legacy running total, so the same ``xi`` selects the same
-    position.  The floating-point edge ``xi == sum(weights)`` returns
-    the last candidate, as the legacy loop's fall-through did.
+    The kernel form of Algorithm 1's lines 12-16, shared through
+    :func:`repro.core.deltas.weighted_draw_index` (kept here as the
+    documented public name): weights via :func:`placement_weights`
+    semantics, one ``uniform(0, sum(weights))`` RNG consumption,
+    selection by ``searchsorted`` over the cumulative weights.
     """
-    weights = 1.0 / (offset + residuals - demand)
-    cumulative = weights.cumsum()
-    xi = rng.uniform(0.0, float(cumulative[-1]))
-    pos = int(cumulative.searchsorted(xi, side="right"))
-    return min(pos, len(weights) - 1)
+    return _weighted_draw_index(residuals, demand, rng, offset)
 
 
 class BFDSUPlacement(PlacementAlgorithm):

@@ -41,6 +41,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.deltas import select_improving_record_breaker
 from repro.exceptions import ValidationError
 from repro.scheduling.base import (
     SchedulingAlgorithm,
@@ -152,16 +153,7 @@ def refine_assignment(
         # Accepted candidates under the sequential margin rule are all
         # strict prefix-max record breakers; replay the rule on just the
         # record breakers (identical winner, see module docstring).
-        d = flat.ravel()
-        prev = np.concatenate(
-            ([-np.inf], np.maximum.accumulate(d)[:-1])
-        )
-        best_delta = 0.0
-        sel = -1
-        for i in np.flatnonzero(d > prev):
-            if d[i] > best_delta + 1e-12:
-                best_delta = float(d[i])
-                sel = int(i)
+        sel = select_improving_record_breaker(flat.ravel())
         if sel < 0:
             break
 

@@ -1,0 +1,30 @@
+"""Online serving layer over the incremental deployment engine.
+
+The batch optimizer answers "given these requests, where do chains go";
+a running NFV control plane instead sees a *stream* of request
+arrivals and departures.  This package is that missing operational
+shell (ROADMAP item on turning the two-phase optimizer into a
+long-running service):
+
+* :mod:`repro.serve.events` — Poisson arrival / exponential-holding
+  churn event streams (seeded, reproducible).
+* :mod:`repro.serve.service` — :class:`ServingLayer`, which drives a
+  :class:`~repro.core.incremental.DeploymentEngine` through an event
+  stream: per-arrival warm-start admission (capacity + bandwidth
+  gates), departure retraction, periodic re-optimization, and a
+  :class:`ServeReport` of latencies, migrations and rejections.
+
+See ``docs/SERVING.md`` for the engine/serving contract and the
+registered ``churn`` experiment for the measured comparison against
+per-arrival full re-solves.
+"""
+
+from repro.serve.events import ChurnEvent, poisson_churn
+from repro.serve.service import ServeReport, ServingLayer
+
+__all__ = [
+    "ChurnEvent",
+    "poisson_churn",
+    "ServingLayer",
+    "ServeReport",
+]

@@ -1,0 +1,118 @@
+"""Churn event streams — seeded arrival/departure processes.
+
+The serving layer consumes a time-ordered sequence of
+:class:`ChurnEvent`; :func:`poisson_churn` generates the standard
+telco-trace abstraction — Poisson request arrivals with exponentially
+distributed holding times — over a fixed set of service chains, fully
+determined by the given RNG (same seed, same stream).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.nfv.chain import ServiceChain
+from repro.nfv.request import Request
+from repro.seeding import RngLike, resolve_rng
+
+__all__ = ["ChurnEvent", "poisson_churn"]
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One arrival or departure in simulated time."""
+
+    #: Simulated timestamp (seconds).
+    time: float
+    #: ``"arrival"`` or ``"departure"``.
+    kind: str
+    #: The request the event concerns.
+    request_id: str
+    #: The full request object (arrivals only; ``None`` on departures).
+    request: Optional[Request] = None
+
+
+def poisson_churn(
+    chains: Sequence[ServiceChain],
+    *,
+    duration: float,
+    arrival_rate: float,
+    mean_holding: float,
+    rng: Optional[RngLike] = None,
+    rate_range: Tuple[float, float] = (1.0, 100.0),
+    delivery_probability: float = 1.0,
+    prefix: str = "churn",
+) -> List[ChurnEvent]:
+    """Generate a time-sorted churn trace over ``duration`` seconds.
+
+    Arrivals form a Poisson process of intensity ``arrival_rate`` (per
+    second); each arriving request picks a uniform random chain from
+    ``chains``, a uniform traffic rate from ``rate_range``, and holds
+    for an Exp(``1 / mean_holding``) lifetime.  Departures beyond
+    ``duration`` are dropped — those requests simply remain active at
+    the end of the trace.  The expected steady-state active population
+    is ``arrival_rate * mean_holding`` (Little's law), which is how
+    callers size scenarios.
+
+    Events are sorted by time with a stable key, arrivals before the
+    coincident departure of the same instant (ties are measure-zero
+    but the order must still be deterministic).
+    """
+    if duration <= 0.0:
+        raise ValidationError(f"duration must be > 0, got {duration!r}")
+    if arrival_rate <= 0.0 or mean_holding <= 0.0:
+        raise ValidationError(
+            "arrival_rate and mean_holding must be > 0, got "
+            f"{arrival_rate!r} / {mean_holding!r}"
+        )
+    if not chains:
+        raise ValidationError("poisson_churn needs at least one chain")
+    generator = resolve_rng(rng)
+
+    # Draw everything in fixed order so the trace is a pure function of
+    # the RNG stream: inter-arrival gaps first, then per-request fields.
+    expected = max(1, int(np.ceil(arrival_rate * duration)))
+    gaps: List[float] = []
+    t = 0.0
+    while True:
+        # Geometric over-draw: batches until the horizon is covered.
+        batch = generator.exponential(1.0 / arrival_rate, size=expected)
+        for gap in batch:
+            t += float(gap)
+            if t >= duration:
+                break
+            gaps.append(float(gap))
+        if t >= duration:
+            break
+    n = len(gaps)
+    arrival_times = np.cumsum(np.asarray(gaps)) if n else np.zeros(0)
+    chain_picks = generator.integers(0, len(chains), size=n)
+    low, high = rate_range
+    rates = generator.uniform(low, high, size=n)
+    holds = generator.exponential(mean_holding, size=n)
+
+    events: List[ChurnEvent] = []
+    for i in range(n):
+        rid = f"{prefix}-{i:06d}"
+        request = Request(
+            request_id=rid,
+            chain=chains[int(chain_picks[i])],
+            arrival_rate=float(rates[i]),
+            delivery_probability=delivery_probability,
+        )
+        at = float(arrival_times[i])
+        events.append(
+            ChurnEvent(time=at, kind="arrival", request_id=rid, request=request)
+        )
+        leave = at + float(holds[i])
+        if leave < duration:
+            events.append(
+                ChurnEvent(time=leave, kind="departure", request_id=rid)
+            )
+    # Stable sort: time, then arrivals (0) before departures (1).
+    events.sort(key=lambda e: (e.time, 0 if e.kind == "arrival" else 1))
+    return events

@@ -1,0 +1,150 @@
+"""The serving loop: an engine driven by a churn event stream.
+
+:class:`ServingLayer` is the operational shell around
+:class:`~repro.core.incremental.DeploymentEngine`: it replays
+arrival/departure events in time order, admits each arrival with the
+engine's warm-start kernels (measuring the wall-clock re-embedding
+latency), retracts departures, and optionally re-optimizes every
+``rebalance_every`` admitted arrivals — the admit-online /
+rebalance-periodically policy of the single-VNF
+:class:`~repro.core.online.OnlineScheduler`, generalized to whole
+chains with capacity and bandwidth admission control.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, List, Set
+
+from repro.core.incremental import DeploymentEngine
+from repro.exceptions import ValidationError
+from repro.serve.events import ChurnEvent
+
+__all__ = ["ServeReport", "ServingLayer"]
+
+
+@dataclass
+class ServeReport:
+    """Aggregated outcome of one event-stream replay."""
+
+    arrivals: int = 0
+    admitted: int = 0
+    rejected_capacity: int = 0
+    rejected_bandwidth: int = 0
+    departures: int = 0
+    rebalances: int = 0
+    #: Placement moves + schedule migrations over all rebalances.
+    migrations: int = 0
+    #: Wall-clock seconds per admit decision (admitted or rejected).
+    admit_latencies: List[float] = field(default_factory=list)
+    #: Wall-clock seconds per rebalance.
+    rebalance_latencies: List[float] = field(default_factory=list)
+    #: Requests still active after the last event.
+    final_active: int = 0
+
+    @property
+    def rejected(self) -> int:
+        return self.rejected_capacity + self.rejected_bandwidth
+
+    @property
+    def rejection_rate(self) -> float:
+        """Rejected arrivals / all arrivals (0 when there were none)."""
+        return self.rejected / self.arrivals if self.arrivals else 0.0
+
+    @property
+    def mean_admit_latency(self) -> float:
+        """Mean wall-clock seconds per admit decision."""
+        if not self.admit_latencies:
+            return 0.0
+        return sum(self.admit_latencies) / len(self.admit_latencies)
+
+    @property
+    def max_admit_latency(self) -> float:
+        return max(self.admit_latencies) if self.admit_latencies else 0.0
+
+    @property
+    def mean_rebalance_latency(self) -> float:
+        if not self.rebalance_latencies:
+            return 0.0
+        return sum(self.rebalance_latencies) / len(self.rebalance_latencies)
+
+
+class ServingLayer:
+    """Drive a :class:`DeploymentEngine` through churn events.
+
+    Parameters
+    ----------
+    engine:
+        The deployment engine (its admission policy — utilization
+        target, bandwidth gate — is configured there).
+    rebalance_every:
+        Full re-optimization every this many *admitted* arrivals;
+        ``0`` disables periodic rebalancing (pure warm-start serving).
+    """
+
+    def __init__(
+        self, engine: DeploymentEngine, rebalance_every: int = 0
+    ) -> None:
+        if rebalance_every < 0:
+            raise ValidationError(
+                f"rebalance_every must be >= 0, got {rebalance_every!r}"
+            )
+        self._engine = engine
+        self._rebalance_every = rebalance_every
+        self._admits_since_rebalance = 0
+        #: Arrivals the engine turned away — their later departure
+        #: events must be skipped, not retracted.
+        self._rejected_ids: Set[str] = set()
+
+    @property
+    def engine(self) -> DeploymentEngine:
+        return self._engine
+
+    def process(self, events: Iterable[ChurnEvent]) -> ServeReport:
+        """Replay ``events`` (already time-ordered) through the engine."""
+        report = ServeReport()
+        for event in events:
+            if event.kind == "arrival":
+                if event.request is None:
+                    raise ValidationError(
+                        f"arrival {event.request_id!r} carries no request"
+                    )
+                report.arrivals += 1
+                start = time.perf_counter()
+                outcome = self._engine.admit(event.request)
+                report.admit_latencies.append(time.perf_counter() - start)
+                if outcome.admitted:
+                    report.admitted += 1
+                    self._admits_since_rebalance += 1
+                    if (
+                        self._rebalance_every
+                        and self._admits_since_rebalance
+                        >= self._rebalance_every
+                    ):
+                        start = time.perf_counter()
+                        rb = self._engine.rebalance()
+                        report.rebalance_latencies.append(
+                            time.perf_counter() - start
+                        )
+                        report.rebalances += 1
+                        report.migrations += rb.total_migrations
+                        self._admits_since_rebalance = 0
+                elif outcome.reason == "bandwidth":
+                    report.rejected_bandwidth += 1
+                    self._rejected_ids.add(event.request_id)
+                else:
+                    report.rejected_capacity += 1
+                    self._rejected_ids.add(event.request_id)
+            elif event.kind == "departure":
+                if event.request_id in self._rejected_ids:
+                    self._rejected_ids.discard(event.request_id)
+                    continue
+                self._engine.depart(event.request_id)
+                report.departures += 1
+            else:
+                raise ValidationError(
+                    f"unknown churn event kind {event.kind!r}"
+                )
+        report.final_active = self._engine.num_active
+        return report

@@ -342,6 +342,89 @@ class NetworkModel:
         if len(ids):
             np.add.at(loads, ids, sign * flows)
 
+    def remove_flows(
+        self,
+        fi: int,
+        at_node: int,
+        placement_vec: np.ndarray,
+        loads: np.ndarray,
+    ) -> None:
+        """The exact inverse of :meth:`add_flows`.
+
+        Retracting charges the identical link set with the identical
+        per-link flow values (the canonical min->max pair routing makes
+        the route endpoint-order-free), so each load entry receives
+        ``x + f - f`` — an exact float round trip whenever the add was
+        the latest change to those links, and the same retract the
+        solvers' trial-commit kernels already rely on.  Pinned by the
+        round-trip tests in ``tests/topology/test_network.py``.
+        """
+        self.add_flows(fi, at_node, placement_vec, loads, -1.0)
+
+    # ------------------------------------------------------------------
+    # Per-request chain flows (incremental admit/depart)
+    # ------------------------------------------------------------------
+    def chain_link_flows(
+        self,
+        vnf_idx_seq: np.ndarray,
+        placement_vec: np.ndarray,
+        flow: float,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Link ids + flows of ONE chain routed on a placement.
+
+        ``vnf_idx_seq`` is the chain as VNF indices (one request's
+        ``chain_vnf`` slice).  Every adjacent distinct pair placed on
+        distinct nodes charges ``flow`` along its canonical route —
+        the single-request slice of the aggregate traffic matrix, so an
+        engine can admit/depart requests against a running ``loads``
+        vector without rebuilding :attr:`pair_flow`.
+        """
+        seq = np.asarray(vnf_idx_seq, dtype=np.int64)
+        empty = np.zeros(0, dtype=np.int64)
+        if len(seq) < 2:
+            return empty, np.zeros(0, dtype=np.float64)
+        a = seq[:-1]
+        b = seq[1:]
+        u = placement_vec[a]
+        v = placement_vec[b]
+        mask = (a != b) & (u >= 0) & (v >= 0) & (u != v)
+        if not mask.any():
+            return empty, np.zeros(0, dtype=np.float64)
+        src = self.node_compute[u[mask]]
+        dst = self.node_compute[v[mask]]
+        ids, owner = self._pair_links(src, dst)
+        return ids, np.full(len(ids), float(flow), dtype=np.float64)
+
+    def chain_fits(
+        self,
+        vnf_idx_seq: np.ndarray,
+        placement_vec: np.ndarray,
+        loads: np.ndarray,
+        flow: float,
+    ) -> bool:
+        """Whether routing one chain's ``flow`` oversubscribes no link."""
+        ids, flows = self.chain_link_flows(vnf_idx_seq, placement_vec, flow)
+        if not len(ids):
+            return True
+        add = np.bincount(ids, weights=flows, minlength=self.num_links)
+        touched = np.unique(ids)
+        return bool(
+            (loads[touched] + add[touched] <= self._slack[touched]).all()
+        )
+
+    def add_chain_flows(
+        self,
+        vnf_idx_seq: np.ndarray,
+        placement_vec: np.ndarray,
+        loads: np.ndarray,
+        flow: float,
+        sign: float = 1.0,
+    ) -> None:
+        """Commit (``sign=1``) or retract (``sign=-1``) one chain's flow."""
+        ids, flows = self.chain_link_flows(vnf_idx_seq, placement_vec, flow)
+        if len(ids):
+            np.add.at(loads, ids, sign * flows)
+
     # ------------------------------------------------------------------
     # Diagnostics
     # ------------------------------------------------------------------

@@ -1,0 +1,275 @@
+"""Unit + identity tests for the incremental deployment engine.
+
+The load-bearing property (docs/SERVING.md): after ANY admit/depart/
+rebalance sequence, a ``rebalance()`` leaves the engine exactly where
+``solve_joint`` over the surviving request set (same seed policy)
+lands from scratch — same placement dict, same schedule dict — with
+and without ``bandwidth=``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.incremental import (
+    AdmitReport,
+    DeploymentEngine,
+    RebalanceReport,
+    solve_joint,
+)
+from repro.exceptions import SchedulingError
+from repro.nfv.chain import ServiceChain
+from repro.nfv.request import Request
+from repro.nfv.vnf import VNF
+from repro.seeding import derive_seed
+from repro.topology.random_topology import random_datacenter
+from repro.workload.generator import WorkloadGenerator
+
+
+def _request(i, names, rate, p=1.0, prefix="q"):
+    return Request(
+        f"{prefix}{i}", ServiceChain(list(names)), rate,
+        delivery_probability=p,
+    )
+
+
+@pytest.fixture
+def small_vnfs():
+    return [
+        VNF("fw", demand_per_instance=10.0, num_instances=2,
+            service_rate=100.0),
+        VNF("lb", demand_per_instance=8.0, num_instances=2,
+            service_rate=100.0),
+    ]
+
+
+@pytest.fixture
+def small_caps():
+    return {"n0": 40.0, "n1": 40.0}
+
+
+class TestAdmit:
+    def test_admit_assigns_least_loaded(self, small_vnfs, small_caps):
+        engine = DeploymentEngine(small_vnfs, small_caps)
+        first = engine.admit(_request(0, ["fw", "lb"], 10.0))
+        assert isinstance(first, AdmitReport)
+        assert first.admitted and first.reason is None
+        assert first.assignment == {"fw": 0, "lb": 0}
+        # Second arrival joins the other (now less loaded) instances.
+        second = engine.admit(_request(1, ["fw"], 5.0))
+        assert second.assignment == {"fw": 1}
+        assert engine.assignment_of("q1") == {"fw": 1}
+        assert engine.num_active == 2
+        assert engine.active_requests == ("q0", "q1")
+
+    def test_duplicate_id_raises(self, small_vnfs, small_caps):
+        engine = DeploymentEngine(small_vnfs, small_caps)
+        engine.admit(_request(0, ["fw"], 1.0))
+        with pytest.raises(SchedulingError, match="already active"):
+            engine.admit(_request(0, ["lb"], 2.0))
+
+    def test_unknown_vnf_raises(self, small_vnfs, small_caps):
+        engine = DeploymentEngine(small_vnfs, small_caps)
+        with pytest.raises(SchedulingError, match="unknown VNF"):
+            engine.admit(_request(0, ["ghost"], 1.0))
+
+    def test_duplicate_initial_ids_raise(self, small_vnfs, small_caps):
+        twice = [_request(0, ["fw"], 1.0), _request(0, ["lb"], 2.0)]
+        with pytest.raises(SchedulingError, match="duplicate"):
+            DeploymentEngine(small_vnfs, small_caps, twice)
+
+    def test_capacity_rejection_is_side_effect_free(
+        self, small_vnfs, small_caps
+    ):
+        # Cap per instance: mu * 0.5 = 50.  Two instances => a third
+        # heavy request has no instance with headroom.
+        engine = DeploymentEngine(
+            small_vnfs, small_caps, target_utilization=0.5
+        )
+        assert engine.admit(_request(0, ["fw"], 45.0)).admitted
+        assert engine.admit(_request(1, ["fw"], 45.0)).admitted
+        before_loads = engine.instance_loads()
+        report = engine.admit(_request(2, ["fw", "lb"], 45.0))
+        assert not report.admitted
+        assert report.reason == "capacity"
+        assert report.assignment == {}
+        assert engine.num_active == 2
+        np.testing.assert_array_equal(
+            engine.instance_loads(), before_loads
+        )
+        # The rejected id was never registered - it can retry smaller.
+        assert engine.admit(_request(2, ["fw", "lb"], 1.0)).admitted
+
+
+class TestBandwidthGate:
+    @pytest.fixture
+    def fabric(self):
+        """Two fat VNFs that cannot colocate on a 3-node line fabric."""
+        vnfs = [
+            VNF("fw", demand_per_instance=60.0, num_instances=1,
+                service_rate=1000.0),
+            VNF("lb", demand_per_instance=60.0, num_instances=1,
+                service_rate=1000.0),
+        ]
+        caps = {"node0": 100.0, "node1": 100.0, "node2": 100.0}
+        topo = random_datacenter(
+            3,
+            rng=np.random.default_rng(7),
+            capacities=[100.0, 100.0, 100.0],
+        )
+        return vnfs, caps, topo
+
+    def test_bandwidth_rejection_is_side_effect_free(self, fabric):
+        vnfs, caps, topo = fabric
+        engine = DeploymentEngine(
+            vnfs, caps, topology=topo, bandwidth=10.0,
+            target_utilization=None,
+        )
+        # fw and lb sit on different nodes, so the chain flow crosses
+        # at least one link of budget 10.
+        assert len(set(engine.placement.values())) == 2
+        assert engine.admit(_request(0, ["fw", "lb"], 6.0)).admitted
+        before = engine._link_loads.copy()
+        report = engine.admit(_request(1, ["fw", "lb"], 6.0))
+        assert not report.admitted
+        assert report.reason == "bandwidth"
+        assert engine.num_active == 1
+        np.testing.assert_array_equal(engine._link_loads, before)
+        # A flow that fits the residual is still welcome.
+        assert engine.admit(_request(1, ["fw", "lb"], 3.0)).admitted
+
+    def test_depart_restores_link_residuals_exactly(self, fabric):
+        vnfs, caps, topo = fabric
+        engine = DeploymentEngine(
+            vnfs, caps, topology=topo, bandwidth=100.0,
+            target_utilization=None,
+        )
+        baseline = engine._link_loads.copy()
+        engine.admit(_request(0, ["fw", "lb"], 7.25))
+        engine.admit(_request(1, ["lb", "fw"], 2.5))
+        engine.depart("q1")
+        engine.depart("q0")
+        np.testing.assert_array_equal(engine._link_loads, baseline)
+
+
+class TestDepart:
+    def test_depart_is_exact_inverse(self, small_vnfs, small_caps):
+        engine = DeploymentEngine(small_vnfs, small_caps)
+        baseline = engine.instance_loads()
+        engine.admit(_request(0, ["fw", "lb"], 10.0, 0.8))
+        engine.admit(_request(1, ["lb"], 3.0))
+        engine.depart("q0")
+        engine.depart("q1")
+        np.testing.assert_array_equal(engine.instance_loads(), baseline)
+        assert engine.num_active == 0
+
+    def test_unknown_id_raises(self, small_vnfs, small_caps):
+        engine = DeploymentEngine(small_vnfs, small_caps)
+        with pytest.raises(SchedulingError, match="unknown request"):
+            engine.depart("ghost")
+        with pytest.raises(SchedulingError, match="unknown request"):
+            engine.assignment_of("ghost")
+
+
+def _churn(engine, requests, rng, admits=18, departs=9):
+    """A deterministic admit/depart interleaving; returns survivors."""
+    pool = list(requests)
+    for request in pool[:admits]:
+        engine.admit(request)
+    active = list(engine.active_requests)
+    for _ in range(departs):
+        victim = active.pop(int(rng.integers(len(active))))
+        engine.depart(victim)
+    return [engine._requests[rid] for rid in engine.active_requests]
+
+
+class TestBatchIdentity:
+    """Engine state after rebalance == solve_joint over survivors."""
+
+    def test_identity_without_bandwidth(self):
+        gen = WorkloadGenerator(np.random.default_rng(20170605))
+        w = gen.workload(num_vnfs=8, num_nodes=10, num_requests=40)
+        engine = DeploymentEngine(
+            w.vnfs, w.capacities, w.requests[:15], seed=123
+        )
+        rng = np.random.default_rng(99)
+        survivors = _churn(engine, w.requests[15:], rng)
+        engine.rebalance()
+        ref = solve_joint(w.vnfs, survivors, w.capacities, seed=123)
+        got = engine.state()
+        assert got.placement == ref.placement
+        assert got.schedule == ref.schedule
+
+    def test_identity_with_bandwidth(self):
+        gen = WorkloadGenerator(np.random.default_rng(20170605))
+        w = gen.workload(num_vnfs=6, num_nodes=8, num_requests=30)
+        topo = random_datacenter(
+            8,
+            rng=np.random.default_rng(derive_seed(5, "fabric")),
+            capacities=[w.capacities[f"node{i}"] for i in range(8)],
+        )
+        bw = 1e9  # generous: constrain the code path, not feasibility
+        engine = DeploymentEngine(
+            w.vnfs, w.capacities, w.requests[:12], seed=321,
+            topology=topo, bandwidth=bw,
+        )
+        rng = np.random.default_rng(77)
+        survivors = _churn(engine, w.requests[12:], rng, admits=14,
+                           departs=7)
+        engine.rebalance()
+        ref = solve_joint(
+            w.vnfs, survivors, w.capacities, seed=321,
+            topology=topo, bandwidth=bw,
+        )
+        got = engine.state()
+        assert got.placement == ref.placement
+        assert got.schedule == ref.schedule
+        # Link residuals agree with a from-scratch reload too.
+        np.testing.assert_allclose(
+            engine._link_loads,
+            engine._network.link_loads(engine._placement_vec),
+            rtol=0, atol=1e-9,
+        )
+
+    def test_rebalance_report_counts(self):
+        gen = WorkloadGenerator(np.random.default_rng(20170605))
+        w = gen.workload(num_vnfs=8, num_nodes=10, num_requests=30)
+        engine = DeploymentEngine(w.vnfs, w.capacities, w.requests[:20])
+        report = engine.rebalance()
+        assert isinstance(report, RebalanceReport)
+        # Nothing churned: the re-solve reproduces itself exactly.
+        assert report.placement_moves == 0
+        assert report.schedule_migrations == 0
+        assert report.active_requests == 20
+        assert report.total_migrations == 0
+
+
+class TestResidualBookkeeping:
+    def test_instance_loads_match_recompute_before_rebalance(self):
+        """Warm-start drift is zero: residuals == from-scratch bincount."""
+        gen = WorkloadGenerator(np.random.default_rng(20170605))
+        w = gen.workload(num_vnfs=8, num_nodes=10, num_requests=40)
+        engine = DeploymentEngine(
+            w.vnfs, w.capacities, w.requests[:15],
+            target_utilization=None,
+        )
+        rng = np.random.default_rng(31)
+        _churn(engine, w.requests[15:], rng)
+        state = engine.state()
+        recomputed, _, _ = state.arrays().instance_rates(
+            state.schedule_arrays()
+        )
+        np.testing.assert_allclose(
+            engine.instance_loads(), recomputed, rtol=0, atol=1e-9
+        )
+
+    def test_state_roundtrip_validates(self, small_vnfs, small_caps):
+        engine = DeploymentEngine(
+            small_vnfs, small_caps, [_request(0, ["fw"], 5.0)]
+        )
+        engine.admit(_request(1, ["fw", "lb"], 2.0))
+        state = engine.state()  # validates internally
+        assert set(state.schedule) == {
+            ("q0", "fw"), ("q1", "fw"), ("q1", "lb"),
+        }

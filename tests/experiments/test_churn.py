@@ -1,0 +1,65 @@
+"""Smoke + acceptance tests for the churn serving experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import churn
+from repro.experiments.registry import get
+
+
+@pytest.fixture(scope="module")
+def churn_result(monkeypatch_module):
+    """One repetition over a shortened trace (minutes, not hours)."""
+    monkeypatch_module.setattr(churn, "DURATION", 600.0)
+    monkeypatch_module.setattr(churn, "MEAN_HOLDING", 120.0)
+    monkeypatch_module.setattr(churn, "REBALANCE_EVERY", 5)
+    return churn.run(repetitions=1)
+
+
+@pytest.fixture(scope="module")
+def monkeypatch_module():
+    from _pytest.monkeypatch import MonkeyPatch
+
+    mp = MonkeyPatch()
+    yield mp
+    mp.undo()
+
+
+class TestRegistration:
+    def test_registered_under_its_module_name(self):
+        spec = get("churn")
+        assert spec.runner is churn.run
+        assert "serving" in spec.tags
+
+
+class TestShape:
+    def test_rows_and_columns(self, churn_result):
+        variants = [row["variant"] for row in churn_result.rows]
+        assert variants == ["incremental", "full-resolve", "probe_2k"]
+        assert churn_result.columns[0] == "variant"
+        assert churn_result.notes  # methodology is documented
+
+    def test_incremental_is_faster_per_arrival(self, churn_result):
+        by_variant = {row["variant"]: row for row in churn_result.rows}
+        inc = by_variant["incremental"]
+        full = by_variant["full-resolve"]
+        assert inc["re_embed_ms"] < full["re_embed_ms"]
+        assert inc["speedup_vs_resolve"] > 1.0
+        assert 0.0 <= inc["rejection_rate"] <= 1.0
+        assert 0.0 <= full["rejection_rate"] <= 1.0
+
+    def test_probe_row_carries_the_acceptance_number(self, churn_result):
+        by_variant = {row["variant"]: row for row in churn_result.rows}
+        probe = by_variant["probe_2k"]
+        assert probe["speedup_vs_resolve"] > 1.0
+        assert probe["re_embed_ms"] > 0.0
+
+
+class TestAcceptance:
+    def test_admit_is_50x_faster_than_resolve_at_2k(self):
+        """ISSUE acceptance bar: warm-start admit >= 50x a from-scratch
+        joint solve at 2000 active requests (measured ~3 orders)."""
+        probe = churn.probe_speedup()
+        assert probe["speedup"] >= 50.0
+        assert probe["resolve_ms"] > probe["admit_ms"]

@@ -1,0 +1,47 @@
+"""Unit tests for the warm-start admit kernel (``least_loaded_admit``)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.scheduling.least_loaded import least_loaded_admit
+
+
+class TestSelection:
+    def test_picks_least_loaded(self):
+        loads = np.array([5.0, 2.0, 7.0])
+        assert least_loaded_admit(loads, 1.0) == 1
+
+    def test_first_index_wins_ties(self):
+        # Matches the legacy scalar min(..., key=(load, index)) rule.
+        loads = np.array([3.0, 3.0, 3.0])
+        assert least_loaded_admit(loads, 1.0) == 0
+        loads = np.array([4.0, 2.0, 2.0])
+        assert least_loaded_admit(loads, 1.0) == 1
+
+    def test_empty_vector_rejects(self):
+        assert least_loaded_admit(np.array([]), 1.0) == -1
+
+    def test_loads_not_mutated(self):
+        loads = np.array([1.0, 2.0])
+        least_loaded_admit(loads, 5.0, capacity=10.0)
+        np.testing.assert_array_equal(loads, [1.0, 2.0])
+
+
+class TestCapacityGate:
+    def test_within_capacity_admitted(self):
+        loads = np.array([8.0, 6.0])
+        assert least_loaded_admit(loads, 3.0, capacity=10.0) == 1
+
+    def test_over_capacity_rejected(self):
+        loads = np.array([8.0, 6.0])
+        assert least_loaded_admit(loads, 5.0, capacity=10.0) == -1
+
+    def test_exact_boundary_admits_via_epsilon(self):
+        # The Eq. (6) slack convention: <= capacity + fit_eps fits.
+        loads = np.array([7.0])
+        assert least_loaded_admit(loads, 3.0, capacity=10.0) == 0
+
+    def test_no_capacity_means_no_gate(self):
+        loads = np.array([1e12])
+        assert least_loaded_admit(loads, 1e12) == 0

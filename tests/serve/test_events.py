@@ -1,0 +1,115 @@
+"""Unit tests for the churn event generator (``repro.serve.events``)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.nfv.chain import ServiceChain
+from repro.serve.events import ChurnEvent, poisson_churn
+
+CHAINS = [ServiceChain(["fw", "nat"]), ServiceChain(["lb"])]
+
+
+def _trace(seed=20170605, **overrides):
+    params = dict(
+        duration=500.0,
+        arrival_rate=0.2,
+        mean_holding=50.0,
+        rng=np.random.default_rng(seed),
+    )
+    params.update(overrides)
+    return poisson_churn(CHAINS, **params)
+
+
+class TestShape:
+    def test_time_sorted_and_within_horizon(self):
+        events = _trace()
+        times = [e.time for e in events]
+        assert times == sorted(times)
+        assert all(0.0 <= t < 500.0 or e.kind == "departure"
+                   for t, e in zip(times, events))
+        assert all(e.time < 500.0 for e in events)
+
+    def test_every_departure_follows_its_arrival(self):
+        events = _trace()
+        arrived = set()
+        for event in events:
+            if event.kind == "arrival":
+                assert event.request is not None
+                assert event.request.request_id == event.request_id
+                arrived.add(event.request_id)
+            else:
+                assert event.request is None
+                assert event.request_id in arrived
+
+    def test_departures_past_duration_are_dropped(self):
+        # Long holding: essentially no request leaves inside the horizon.
+        events = _trace(mean_holding=1e9)
+        assert all(e.kind == "arrival" for e in events)
+
+    def test_request_fields_are_plausible(self):
+        events = _trace()
+        arrivals = [e for e in events if e.kind == "arrival"]
+        assert arrivals
+        chain_keys = {c.vnf_names for c in CHAINS}
+        for event in arrivals:
+            assert event.request.chain.vnf_names in chain_keys
+            assert 1.0 <= event.request.arrival_rate <= 100.0
+
+    def test_steady_state_population_tracks_littles_law(self):
+        # lambda * holding = 0.2 * 50 = 10 expected actives.
+        events = _trace(duration=5000.0)
+        active = 0
+        peak = 0
+        for event in events:
+            active += 1 if event.kind == "arrival" else -1
+            peak = max(peak, active)
+        assert 3 <= peak <= 40  # loose band around 10
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a = _trace(seed=7)
+        b = _trace(seed=7)
+        assert a == b  # frozen dataclasses compare by value
+
+    def test_different_seed_different_trace(self):
+        assert _trace(seed=7) != _trace(seed=8)
+
+    def test_prefix_names_ids(self):
+        events = poisson_churn(
+            CHAINS,
+            duration=100.0,
+            arrival_rate=0.5,
+            mean_holding=20.0,
+            rng=np.random.default_rng(3),
+            prefix="trial9",
+        )
+        assert all(e.request_id.startswith("trial9-") for e in events)
+
+
+class TestValidation:
+    def test_bad_duration(self):
+        with pytest.raises(ValidationError):
+            _trace(duration=0.0)
+
+    def test_bad_rates(self):
+        with pytest.raises(ValidationError):
+            _trace(arrival_rate=-1.0)
+        with pytest.raises(ValidationError):
+            _trace(mean_holding=0.0)
+
+    def test_no_chains(self):
+        with pytest.raises(ValidationError):
+            poisson_churn(
+                [], duration=10.0, arrival_rate=1.0, mean_holding=1.0
+            )
+
+
+class TestEventDataclass:
+    def test_frozen(self):
+        event = ChurnEvent(time=1.0, kind="arrival", request_id="x")
+        with pytest.raises(AttributeError):
+            event.time = 2.0

@@ -231,3 +231,129 @@ class TestPlacementVector:
         model = _model(line_topology, [])
         with pytest.raises(ValidationError):
             model.placement_vector({"fw": "ghost"})
+
+
+class TestRemoveFlows:
+    def test_add_then_remove_restores_exactly(self, line_topology):
+        """Bit-exact, not approximate: x + f - f == x per link."""
+        model = _model(
+            line_topology,
+            [(["fw", "lb"], 4.0), (["lb", "ids"], 2.5), (["fw", "ids"], 1.25)],
+        )
+        vec = model.placement_vector({"fw": "n0", "ids": "n1"})
+        loads = model.link_loads(vec)
+        before = loads.copy()
+        lb = VNFS.index("lb")
+        model.add_flows(lb, 2, vec, loads)
+        vec[lb] = 2
+        vec[lb] = -1
+        model.remove_flows(lb, 2, vec, loads)
+        np.testing.assert_array_equal(loads, before)
+
+    def test_roundtrip_property_random_topologies(self):
+        """Seeded property sweep: for random fabrics, placements and
+        flow values, add_flows followed by remove_flows at the same
+        node restores every link residual bit-exactly — the canonical
+        min->max routing makes the retraction replay identical float
+        additions with the sign flipped, regardless of which endpoint
+        of a tied shortest path the VNF sits on."""
+        rng = np.random.default_rng(20170605)
+        for trial in range(10):
+            num_nodes = int(rng.integers(4, 16))
+            topo = random_datacenter(num_nodes, rng=rng)
+            names = tuple(f"f{i}" for i in range(int(rng.integers(3, 7))))
+            nodes = tuple(f"node{i}" for i in range(num_nodes))
+            chains = [
+                (
+                    list(
+                        rng.choice(
+                            names,
+                            size=int(rng.integers(2, min(5, len(names) + 1))),
+                            replace=False,
+                        )
+                    ),
+                    # Dyadic flows: every partial sum is exactly
+                    # representable, so "restores exactly" is a
+                    # routing-canonicalization property, not a
+                    # rounding accident.
+                    float(rng.integers(1, 64)) / 8.0,
+                )
+                for _ in range(int(rng.integers(3, 12)))
+            ]
+            model = NetworkModel.build(topo, names, nodes, chains)
+            vec = rng.integers(0, num_nodes, size=len(names)).astype(np.int64)
+            loads = model.link_loads(vec)
+            before = loads.copy()
+            fi = int(rng.integers(len(names)))
+            node = int(vec[fi])
+            target = int(rng.integers(num_nodes))
+            # Move fi away and back: each add is later retracted at the
+            # same node, so the residuals must land exactly on `before`.
+            vec[fi] = -1
+            model.remove_flows(fi, node, vec, loads)
+            model.add_flows(fi, target, vec, loads)
+            vec[fi] = target
+            vec[fi] = -1
+            model.remove_flows(fi, target, vec, loads)
+            model.add_flows(fi, node, vec, loads)
+            vec[fi] = node
+            np.testing.assert_array_equal(
+                loads, before, err_msg=f"trial {trial}"
+            )
+
+
+class TestChainFlows:
+    """Per-request routed flows — the admit/depart path of the engine."""
+
+    def test_chain_link_flows_crossing_line(self, line_topology):
+        model = _model(line_topology, [])
+        vec = model.placement_vector({"fw": "n0", "lb": "n2", "ids": "n1"})
+        chain = np.array(
+            [VNFS.index("fw"), VNFS.index("lb"), VNFS.index("ids")],
+            dtype=np.int64,
+        )
+        links, flows = model.chain_link_flows(chain, vec, 4.0)
+        # fw->lb crosses both links; lb->ids crosses link 1 only.
+        loads = np.zeros(model.num_links)
+        np.add.at(loads, links, flows)
+        np.testing.assert_allclose(loads, [4.0, 8.0])
+
+    def test_colocated_and_unplaced_hops_are_free(self, line_topology):
+        model = _model(line_topology, [])
+        vec = model.placement_vector({"fw": "n1", "lb": "n1"})
+        chain = np.array(
+            [VNFS.index("fw"), VNFS.index("lb"), VNFS.index("ids")],
+            dtype=np.int64,
+        )
+        links, flows = model.chain_link_flows(chain, vec, 4.0)
+        assert len(links) == 0 and len(flows) == 0
+
+    def test_chain_fits_gates_on_residuals(self, line_topology):
+        model = _model(line_topology, [], bandwidth=10.0)
+        vec = model.placement_vector({"fw": "n0", "lb": "n2"})
+        loads = np.zeros(model.num_links)
+        chain = np.array(
+            [VNFS.index("fw"), VNFS.index("lb")], dtype=np.int64
+        )
+        assert model.chain_fits(chain, vec, loads, 9.0)
+        model.add_chain_flows(chain, vec, loads, 9.0)
+        assert not model.chain_fits(chain, vec, loads, 2.0)
+        assert model.chain_fits(chain, vec, loads, 1.0)
+
+    def test_add_remove_chain_flows_roundtrip_exact(self, line_topology):
+        model = _model(line_topology, [])
+        vec = model.placement_vector(
+            {"fw": "n0", "lb": "n2", "ids": "n1", "nat": "n0"}
+        )
+        loads = np.zeros(model.num_links)
+        chains = [
+            np.array([0, 1, 2], dtype=np.int64),
+            np.array([2, 3], dtype=np.int64),
+            np.array([1, 0, 3], dtype=np.int64),
+        ]
+        rates = [4.25, 1.125, 2.5]
+        for chain, rate in zip(chains, rates):
+            model.add_chain_flows(chain, vec, loads, rate)
+        for chain, rate in zip(reversed(chains), reversed(rates)):
+            model.add_chain_flows(chain, vec, loads, rate, -1.0)
+        np.testing.assert_array_equal(loads, np.zeros(model.num_links))
