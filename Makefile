@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-core bench-solvers bench-sim bench-topo bench-serve lint experiments examples ci clean
+.PHONY: install test bench bench-core bench-solvers bench-sim bench-topo bench-serve bench-scale lint experiments examples ci clean
 
 PYTHON ?= python
 
@@ -26,6 +26,9 @@ bench-topo:
 bench-serve:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_serve.py --out benchmarks/bench_serve.json
 
+bench-scale:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_scale.py --out benchmarks/bench_scale.json
+
 # Lint via ruff when available (config in pyproject.toml); the runtime
 # image ships without it, so the gate degrades to a skip, not a failure.
 lint:
@@ -49,6 +52,7 @@ ci: lint
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_sim.py --quick --out benchmarks/bench_sim.json
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_topo.py --quick --out benchmarks/bench_topo.json
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_serve.py --quick --min-speedup 50 --out benchmarks/bench_serve.json
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_scale.py --quick --sim-packets 1e6 --max-seconds 300 --max-rss-mb 6144 --out benchmarks/bench_scale.json
 
 examples:
 	@for f in examples/*.py; do echo "== $$f =="; $(PYTHON) $$f; echo; done

@@ -21,7 +21,7 @@ TRAJECTORY = Path(__file__).resolve().parents[1] / "BENCH_TRAJECTORY.json"
 
 
 def distill(report: dict) -> dict:
-    """Speedups + scenario line from one bench report."""
+    """Speedups, scale headlines and scenario line from one bench report."""
     speedups = {
         name: entry["speedup"]
         for name, entry in report.get("results", {}).items()
@@ -32,7 +32,20 @@ def distill(report: dict) -> dict:
     for key in ("num_requests", "num_nodes", "num_vnfs"):
         if key in scenario:
             parts.append(f"{scenario[key]} {key.removeprefix('num_')}")
-    return {"scenario": " / ".join(parts) or "(unknown)", "speedups": speedups}
+    entry = {
+        "scenario": " / ".join(parts) or "(unknown)",
+        "speedups": speedups,
+    }
+    # Macro benchmarks (bench_scale) report absolute headline numbers —
+    # pipeline requests/s and peak RSS — instead of speedups.
+    headline = {
+        key: round(float(value), 2)
+        for key, value in report.get("headline", {}).items()
+        if key in ("requests_per_sec", "peak_rss_mb")
+    }
+    if headline:
+        entry["headline"] = headline
+    return entry
 
 
 def main(argv=None) -> int:

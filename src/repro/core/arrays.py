@@ -58,6 +58,7 @@ from typing import Dict, Hashable, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.dtypes import ensure_index_capacity, resolve_policy
 from repro.exceptions import SchedulingError, ValidationError
 from repro.queueing.mm1 import mm1_mean_response_times, mm1_utilizations
 
@@ -182,41 +183,55 @@ class ScenarioArrays:
         vnfs: Sequence,
         requests: Sequence,
         node_capacities: Mapping[Hashable, float],
+        dtypes=None,
     ) -> "ScenarioArrays":
-        """Materialize the static columns from the entity objects."""
+        """Materialize the static columns from the entity objects.
+
+        ``dtypes`` is an optional
+        :class:`~repro.core.dtypes.DtypePolicy`; ``None`` keeps the
+        historical ``int64``/``float64`` columns byte-identical.  The
+        lean ``int32`` policy is guarded against index overflow at
+        construction (see :func:`~repro.core.dtypes.ensure_index_capacity`).
+        """
+        policy = resolve_policy(dtypes)
+        idt = policy.index_dtype
+        fdt = policy.float_dtype
         vnf_names = tuple(f.name for f in vnfs)
         vnf_index = {name: i for i, name in enumerate(vnf_names)}
-        M_f = np.array([f.num_instances for f in vnfs], dtype=np.int64)
-        D_f = np.array([f.demand_per_instance for f in vnfs], dtype=np.float64)
-        mu_f = np.array([f.service_rate for f in vnfs], dtype=np.float64)
+        M_f = np.array([f.num_instances for f in vnfs], dtype=idt)
+        D_f = np.array([f.demand_per_instance for f in vnfs], dtype=fdt)
+        mu_f = np.array([f.service_rate for f in vnfs], dtype=fdt)
         total_demand_f = np.array(
-            [f.total_demand for f in vnfs], dtype=np.float64
+            [f.total_demand for f in vnfs], dtype=fdt
         )
-        instance_offset = np.zeros(len(vnfs) + 1, dtype=np.int64)
+        instance_offset = np.zeros(len(vnfs) + 1, dtype=idt)
+        num_instances = int(np.sum(M_f, dtype=np.int64))
+        ensure_index_capacity(num_instances, idt, "service instance table")
         np.cumsum(M_f, out=instance_offset[1:])
-        num_instances = int(instance_offset[-1])
-        inst_vnf = np.repeat(np.arange(len(vnfs), dtype=np.int64), M_f)
-        mu_inst = mu_f[inst_vnf] if len(vnfs) else np.zeros(0)
+        inst_vnf = np.repeat(np.arange(len(vnfs), dtype=idt), M_f)
+        mu_inst = mu_f[inst_vnf] if len(vnfs) else np.zeros(0, dtype=fdt)
 
         node_keys = tuple(node_capacities.keys())
         node_index = {key: i for i, key in enumerate(node_keys)}
+        ensure_index_capacity(len(node_keys), idt, "node table")
         A_v = np.array(
-            [node_capacities[key] for key in node_keys], dtype=np.float64
+            [node_capacities[key] for key in node_keys], dtype=fdt
         )
 
         request_ids = tuple(r.request_id for r in requests)
         request_index = {rid: i for i, rid in enumerate(request_ids)}
-        lambda_r = np.array([r.arrival_rate for r in requests], dtype=np.float64)
+        ensure_index_capacity(len(request_ids), idt, "request table")
+        lambda_r = np.array([r.arrival_rate for r in requests], dtype=fdt)
         P_r = np.array(
-            [r.delivery_probability for r in requests], dtype=np.float64
+            [r.delivery_probability for r in requests], dtype=fdt
         )
         # Elementwise division matches the scalar lambda_r / P_r exactly.
-        eff_rate = lambda_r / P_r if len(requests) else np.zeros(0)
+        eff_rate = lambda_r / P_r if len(requests) else np.zeros(0, dtype=fdt)
 
         chain_req_list = []
         chain_vnf_list = []
         chain_name_list = []
-        chain_ptr = np.zeros(len(requests) + 1, dtype=np.int64)
+        chain_ptr = np.zeros(len(requests) + 1, dtype=idt)
         has_unknown = False
         for i, request in enumerate(requests):
             for name in request.chain:
@@ -227,8 +242,9 @@ class ScenarioArrays:
                 chain_vnf_list.append(idx)
                 chain_name_list.append(name)
             chain_ptr[i + 1] = len(chain_req_list)
-        chain_req = np.array(chain_req_list, dtype=np.int64)
-        chain_vnf = np.array(chain_vnf_list, dtype=np.int64)
+        ensure_index_capacity(len(chain_req_list), idt, "chain CSR table")
+        chain_req = np.array(chain_req_list, dtype=idt)
+        chain_vnf = np.array(chain_vnf_list, dtype=idt)
 
         return cls(
             vnf_names=vnf_names,
@@ -255,6 +271,78 @@ class ScenarioArrays:
             chain_names=tuple(chain_name_list),
             chain_has_unknown=has_unknown,
         )
+
+    @classmethod
+    def from_columns(
+        cls,
+        vnfs: Sequence,
+        node_capacities: Mapping[Hashable, float],
+        request_ids,
+        request_index,
+        lambda_r: np.ndarray,
+        P_r: np.ndarray,
+        chain_req: np.ndarray,
+        chain_vnf: np.ndarray,
+        chain_ptr: np.ndarray,
+        chain_names,
+        dtypes=None,
+    ) -> "ScenarioArrays":
+        """Assemble a scenario from prebuilt *request* columns.
+
+        The object-free construction path
+        (:mod:`repro.workload.stream`) samples the request table as
+        numpy columns directly; this builder attaches them to the
+        VNF/node columns without ever walking per-request objects.  The
+        request columns must satisfy the exact :meth:`build` invariants
+        (chain CSR in request-major chain order, ``eff_rate`` computed
+        as the elementwise ``lambda_r / P_r``); the construction-parity
+        suite pins that streamed columns equal :meth:`build` over the
+        materialized request sequence.  ``request_ids`` /
+        ``request_index`` / ``chain_names`` may be lazy sequence/mapping
+        views — at million-request scale the eager tuple+dict cost more
+        than every numpy column combined.
+        """
+        policy = resolve_policy(dtypes)
+        idt = policy.index_dtype
+        fdt = policy.float_dtype
+        base = cls.build(vnfs, (), node_capacities, dtypes=policy)
+        n = len(request_ids)
+        ensure_index_capacity(n, idt, "request table")
+        ensure_index_capacity(len(chain_req), idt, "chain CSR table")
+        if not (
+            len(lambda_r) == len(P_r) == n
+            and len(chain_ptr) == n + 1
+            and len(chain_req) == len(chain_vnf) == len(chain_names)
+        ):
+            raise ValidationError(
+                "request column lengths are inconsistent with the id table"
+            )
+        base.request_ids = request_ids
+        base.request_index = request_index
+        base.lambda_r = np.ascontiguousarray(lambda_r, dtype=fdt)
+        base.P_r = np.ascontiguousarray(P_r, dtype=fdt)
+        base.eff_rate = base.lambda_r / base.P_r
+        base.chain_req = np.ascontiguousarray(chain_req, dtype=idt)
+        base.chain_vnf = np.ascontiguousarray(chain_vnf, dtype=idt)
+        base.chain_ptr = np.ascontiguousarray(chain_ptr, dtype=idt)
+        base.chain_names = chain_names
+        base.chain_has_unknown = bool(len(chain_vnf)) and bool(
+            (base.chain_vnf < 0).any()
+        )
+        return base
+
+    # ------------------------------------------------------------------
+    # Dtype policy (derived from the columns themselves)
+    # ------------------------------------------------------------------
+    @property
+    def index_dtype(self) -> np.dtype:
+        """The active index-column dtype (``int64`` unless lean-built)."""
+        return self.chain_req.dtype
+
+    @property
+    def float_dtype(self) -> np.dtype:
+        """The active float-column dtype (``float64`` unless lean-built)."""
+        return self.lambda_r.dtype
 
     @classmethod
     def from_placement_problem(cls, problem) -> "ScenarioArrays":
@@ -304,9 +392,10 @@ class ScenarioArrays:
             :meth:`~repro.nfv.state.DeploymentState.instances`.
         """
         n = len(schedule)
-        req = np.empty(n, dtype=np.int64)
-        vnf = np.empty(n, dtype=np.int64)
-        k = np.empty(n, dtype=np.int64)
+        idt = self.index_dtype
+        req = np.empty(n, dtype=idt)
+        vnf = np.empty(n, dtype=idt)
+        k = np.empty(n, dtype=idt)
         request_index = self.request_index
         vnf_index = self.vnf_index
         M_f = self.M_f
@@ -574,16 +663,22 @@ class ScenarioArrays:
             return
         self.request_ids = list(self.request_ids)
         self.chain_names = list(self.chain_names)
+        if not isinstance(self.request_index, dict):
+            # Streamed scenarios carry a lazy id->index mapping view;
+            # mutation needs a real dict it can assign into.
+            self.request_index = dict(self.request_index)
         n = len(self.request_ids)
         c = len(self.chain_req)
         rcap = max(4, 2 * n)
         ccap = max(8, 2 * c)
-        self._lambda_buf = np.zeros(rcap, dtype=np.float64)
-        self._P_buf = np.zeros(rcap, dtype=np.float64)
-        self._eff_buf = np.zeros(rcap, dtype=np.float64)
-        self._chain_ptr_buf = np.zeros(rcap + 1, dtype=np.int64)
-        self._chain_req_buf = np.zeros(ccap, dtype=np.int64)
-        self._chain_vnf_buf = np.zeros(ccap, dtype=np.int64)
+        fdt = self.float_dtype
+        idt = self.index_dtype
+        self._lambda_buf = np.zeros(rcap, dtype=fdt)
+        self._P_buf = np.zeros(rcap, dtype=fdt)
+        self._eff_buf = np.zeros(rcap, dtype=fdt)
+        self._chain_ptr_buf = np.zeros(rcap + 1, dtype=idt)
+        self._chain_req_buf = np.zeros(ccap, dtype=idt)
+        self._chain_vnf_buf = np.zeros(ccap, dtype=idt)
         self._lambda_buf[:n] = self.lambda_r
         self._P_buf[:n] = self.P_r
         self._eff_buf[:n] = self.eff_rate
@@ -643,8 +738,11 @@ class ScenarioArrays:
         self._chain_ptr_buf = self._grown(self._chain_ptr_buf, n + 2)
         self._chain_req_buf = self._grown(self._chain_req_buf, c + m)
         self._chain_vnf_buf = self._grown(self._chain_vnf_buf, c + m)
-        lam = np.float64(request.arrival_rate)
-        p = np.float64(request.delivery_probability)
+        ensure_index_capacity(c + m, self.index_dtype, "chain CSR table")
+        ensure_index_capacity(n + 1, self.index_dtype, "request table")
+        fdt = self.float_dtype.type
+        lam = fdt(request.arrival_rate)
+        p = fdt(request.delivery_probability)
         self._lambda_buf[n] = lam
         self._P_buf[n] = p
         self._eff_buf[n] = lam / p

@@ -248,3 +248,80 @@ def _total_latency_after_admission(
     if counted == 0:
         return math.inf
     return total / counted
+
+
+def evaluate_columns(
+    arrays,
+    placement_vec: np.ndarray,
+    sched,
+    link_latency: float = DEFAULT_LINK_LATENCY,
+    topology=None,
+) -> EvaluationReport:
+    """State-free :func:`evaluate_deployment` over raw columns.
+
+    The million-request path: scores a ``(ScenarioArrays,
+    placement-vector, ScheduleArrays)`` triple without ever building a
+    :class:`~repro.nfv.state.DeploymentState` (whose dict-shaped
+    ``placement``/``schedule`` would cost more than the evaluation
+    itself at scale).  Matches ``evaluate_deployment(state,
+    with_admission=False)`` to float64 round-off on the same solution —
+    pinned by ``tests/core/test_dtypes.py`` and
+    ``tests/scheduling/test_schedule_columns.py``.  Admission control is not
+    modeled here: callers arrange stability up front (e.g.
+    :func:`repro.workload.stream.rescale_to_stability`), so the
+    rejection metrics are reported as zero exactly as the
+    ``with_admission=False`` route does.
+    """
+    equivalent, external, counts = arrays.instance_rates(sched)
+    serving = counts > 0
+    utilization = arrays.instance_utilizations(equivalent)
+    max_util = (
+        float(utilization[serving].max()) if serving.any() else 0.0
+    )
+
+    if serving.any() and bool((utilization[serving] < 1.0).all()):
+        instance_w = arrays.instance_response_times(equivalent, external)
+        w = instance_w[serving]
+        avg_w = float(w.sum() / len(w))
+    else:
+        instance_w = None
+        avg_w = math.inf
+
+    num_requests = len(arrays.request_ids)
+    if math.isfinite(avg_w):
+        response = arrays.response_per_request(sched, instance_w)
+        if topology is None:
+            comm = arrays.hops_per_request(placement_vec) * link_latency
+        else:
+            comm = arrays.topology_latency_per_request(
+                placement_vec, topology
+            )
+        total = float(np.sum(response + comm))
+        avg_total = total / num_requests if num_requests else 0.0
+    else:
+        total = math.inf
+        avg_total = math.inf
+
+    loads = arrays.node_loads(placement_vec)
+    used_mask = arrays.used_node_mask(placement_vec)
+    if used_mask.any():
+        capacities = arrays.A_v[used_mask]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            node_util = np.where(
+                capacities > 0.0, loads[used_mask] / capacities, 0.0
+            )
+        avg_node_util = float(node_util.sum() / used_mask.sum())
+    else:
+        avg_node_util = 0.0
+
+    return EvaluationReport(
+        average_node_utilization=avg_node_util,
+        nodes_in_service=int(used_mask.sum()),
+        resource_occupation=float(arrays.A_v[used_mask].sum()),
+        average_response_latency=avg_w,
+        max_instance_utilization=max_util,
+        total_latency=total,
+        average_total_latency=avg_total,
+        num_rejected=0,
+        rejection_rate=0.0,
+    )

@@ -50,7 +50,11 @@ from typing import Dict, Hashable, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.deltas import FIT_EPS, weighted_draw_index as _weighted_draw_index
+from repro.core.deltas import (
+    FIT_EPS,
+    UniformBlock,
+    weighted_draw_index as _weighted_draw_index,
+)
 from repro.exceptions import MaxRestartsExceededError
 from repro.placement.base import (
     PlacementAlgorithm,
@@ -86,18 +90,20 @@ def placement_weights(
 def weighted_draw_index(
     residuals: np.ndarray,
     demand: float,
-    rng: np.random.Generator,
+    rng: Optional[np.random.Generator] = None,
     offset: float = WEIGHT_OFFSET,
+    u01: Optional[float] = None,
 ) -> int:
     """Draw a position from ``residuals`` (ascending-RST candidate order).
 
     The kernel form of Algorithm 1's lines 12-16, shared through
     :func:`repro.core.deltas.weighted_draw_index` (kept here as the
     documented public name): weights via :func:`placement_weights`
-    semantics, one ``uniform(0, sum(weights))`` RNG consumption,
+    semantics, one ``uniform(0, sum(weights))`` RNG consumption (or a
+    pre-drawn ``u01`` from a :class:`~repro.core.deltas.UniformBlock`),
     selection by ``searchsorted`` over the cumulative weights.
     """
-    return _weighted_draw_index(residuals, demand, rng, offset)
+    return _weighted_draw_index(residuals, demand, rng, offset, u01=u01)
 
 
 class BFDSUPlacement(PlacementAlgorithm):
@@ -124,6 +130,14 @@ class BFDSUPlacement(PlacementAlgorithm):
         (the default) leaves the construction — including its RNG
         consumption — byte-identical per seed to the unconstrained
         kernel.
+    draw_block:
+        When > 0, pre-draw uniform doubles in blocks of this size
+        (:class:`~repro.core.deltas.UniformBlock`) instead of one
+        ``Generator.uniform`` call per placement decision.  Placements
+        stay byte-identical per seed — the k-th draw reads the k-th
+        stream double either way — but the per-call RNG dispatch cost
+        is amortized, which matters at million-VNF scale.  ``0`` (the
+        default) keeps the legacy one-call-per-draw behaviour.
     """
 
     name = "BFDSU"
@@ -134,6 +148,7 @@ class BFDSUPlacement(PlacementAlgorithm):
         max_restarts: int = 200,
         weight_offset: float = WEIGHT_OFFSET,
         network=None,
+        draw_block: int = 0,
     ) -> None:
         # ``None`` means the documented default seed
         # (repro.seeding.DEFAULT_SEED), never OS entropy: two
@@ -142,6 +157,11 @@ class BFDSUPlacement(PlacementAlgorithm):
         self._max_restarts = max_restarts
         self._weight_offset = weight_offset
         self._network = network
+        # The block persists across place() calls so the k-th draw of
+        # the object's lifetime always reads the k-th stream double.
+        self._draws = (
+            UniformBlock(self._rng, draw_block) if draw_block > 0 else None
+        )
 
     def place(self, problem: PlacementProblem) -> PlacementResult:
         problem.check_necessary_feasibility()
@@ -226,7 +246,13 @@ class BFDSUPlacement(PlacementAlgorithm):
                 weights = [
                     1.0 / (offset + res_list[v] - demand) for v in cands
                 ]
-                xi = self._rng.uniform(0.0, sum(weights))
+                total = sum(weights)
+                if self._draws is not None:
+                    # uniform(0, s) is s * random() bitwise: the batched
+                    # double selects the identical target.
+                    xi = total * self._draws.next()
+                else:
+                    xi = self._rng.uniform(0.0, total)
                 target = cands[-1]
                 cumulative = 0.0
                 for node, weight in zip(cands, weights):
@@ -257,10 +283,14 @@ class BFDSUPlacement(PlacementAlgorithm):
                 order = candidates[
                     np.lexsort((str_rank[candidates], residual[candidates]))
                 ]
+                u01 = (
+                    self._draws.next() if self._draws is not None else None
+                )
                 target = int(
                     order[
                         weighted_draw_index(
-                            residual[order], demand, self._rng, offset
+                            residual[order], demand, self._rng, offset,
+                            u01=u01,
                         )
                     ]
                 )

@@ -31,6 +31,19 @@ import numpy as np
 from repro.exceptions import SimulationError
 
 
+def _as_float(values) -> np.ndarray:
+    """View ``values`` as a floating array, preserving float32 inputs.
+
+    Memory-lean callers feed ``float32`` traces; forcing ``float64``
+    here would silently double every hot simulation buffer.  Integer
+    and list inputs still promote to ``float64`` exactly as before.
+    """
+    arr = np.asarray(values)
+    if arr.dtype.kind != "f":
+        return arr.astype(np.float64)
+    return arr
+
+
 def lindley_departure_times(
     arrivals: np.ndarray, services: np.ndarray
 ) -> np.ndarray:
@@ -52,15 +65,15 @@ def lindley_departure_times(
         Departure times ``D`` aligned with the inputs;
         ``D_m = max(A_m, D_{m-1}) + S_m`` with ``D_{-1} = -inf``.
     """
-    A = np.asarray(arrivals, dtype=np.float64)
-    S = np.asarray(services, dtype=np.float64)
+    A = _as_float(arrivals)
+    S = _as_float(services)
     if A.ndim != 1 or A.shape != S.shape:
         raise SimulationError(
             f"arrivals and services must be 1-D and aligned, got shapes "
             f"{A.shape} and {S.shape}"
         )
     if A.size == 0:
-        return np.empty(0, dtype=np.float64)
+        return np.empty(0, dtype=np.result_type(A, S))
     if np.any(S < 0.0):
         raise SimulationError("service times must be non-negative")
     cum = np.cumsum(S)
@@ -83,7 +96,7 @@ def fcfs_sojourn_times(
     (service completions at or past the horizon never happen).
     ``arrivals`` must be sorted ascending (a real arrival trace).
     """
-    A = np.asarray(arrivals, dtype=np.float64)
+    A = _as_float(arrivals)
     if A.size and (np.any(np.diff(A) < 0.0) or A[0] < 0.0):
         raise SimulationError(
             "arrival trace must be sorted ascending and non-negative"
@@ -148,3 +161,93 @@ def busy_time_within(
     S = np.asarray(services, dtype=np.float64)
     overlap = np.minimum(D, horizon) - (D - S)
     return float(np.clip(overlap, 0.0, None).sum())
+
+
+def segmented_maximum_accumulate(
+    values: np.ndarray, segments: np.ndarray
+) -> np.ndarray:
+    """Per-segment running maximum (``np.maximum.accumulate`` restarted
+    at every segment boundary).
+
+    ``segments`` must be grouped (all equal ids contiguous — e.g. the
+    instance column of a ``(instance, time)``-lexsorted batch).  Uses a
+    Hillis–Steele doubling scan, which is *exact* for ``max``
+    (idempotent — no reassociation error), with no Python-level loop
+    over segments.  The scan stops at the *longest segment* rather than
+    ``n`` — shifts past it compare only across boundaries and are
+    no-ops — so the cost is ``O(n log max_run)``: with millions of rows
+    spread over thousands of per-instance queues this roughly halves
+    the pass count, and it is the profile-dominant kernel of the
+    million-request simulation path.  Scratch buffers are allocated
+    once and sliced per shift instead of re-allocated per iteration.
+    """
+    out = _as_float(values).copy()
+    seg = np.asarray(segments)
+    n = out.size
+    if seg.shape != out.shape:
+        raise SimulationError(
+            f"segments must align with values, got shapes "
+            f"{seg.shape} and {out.shape}"
+        )
+    if n == 0:
+        return out
+    starts = np.concatenate(
+        ([0], np.flatnonzero(seg[1:] != seg[:-1]) + 1)
+    )
+    max_run = int(np.diff(np.append(starts, n)).max())
+    lowest = out.dtype.type(-np.inf)
+    mask = np.empty(n, dtype=bool)
+    cand = np.empty(n, dtype=out.dtype)
+    d = 1
+    while d < max_run:
+        m = mask[: n - d]
+        np.equal(seg[d:], seg[:-d], out=m)
+        # Candidate lane: the shifted value inside a segment, -inf
+        # across a boundary — staged in scratch so the maximum never
+        # aliases its own shifted input.
+        c = cand[: n - d]
+        c.fill(lowest)
+        np.copyto(c, out[:-d], where=m)
+        np.maximum(out[d:], c, out=out[d:])
+        d <<= 1
+    return out
+
+
+def segmented_lindley(
+    arrivals: np.ndarray, services: np.ndarray, segments: np.ndarray
+) -> np.ndarray:
+    """FCFS departures of many independent servers in one shot.
+
+    Vectorizes :func:`lindley_departure_times` across segments: each
+    contiguous run of equal ``segments`` ids is one server's pass, in
+    its own service order.  The per-segment cumulative service time is
+    computed as the global ``cumsum`` minus each segment's starting
+    base, so results match the per-segment kernel to float64 round-off
+    (~1e-9 relative at millions of packets) rather than bitwise — the
+    column-native simulation backend is pinned distributionally, not
+    per-sample (see docs/SCALE.md).
+    """
+    A = _as_float(arrivals)
+    S = _as_float(services)
+    seg = np.asarray(segments)
+    if not (A.shape == S.shape == seg.shape) or A.ndim != 1:
+        raise SimulationError(
+            f"arrivals, services and segments must be 1-D and aligned, "
+            f"got shapes {A.shape}, {S.shape}, {seg.shape}"
+        )
+    if A.size == 0:
+        return np.empty(0, dtype=np.result_type(A, S))
+    if np.any(S < 0.0):
+        raise SimulationError("service times must be non-negative")
+    cum = np.cumsum(S)
+    is_start = np.empty(A.size, dtype=bool)
+    is_start[0] = True
+    np.not_equal(seg[1:], seg[:-1], out=is_start[1:])
+    start_idx = np.flatnonzero(is_start)
+    counts = np.diff(np.append(start_idx, A.size))
+    # cumS just *before* each segment starts, broadcast over its run.
+    base = np.repeat(cum[start_idx] - S[start_idx], counts)
+    cum_seg = cum - base
+    return cum_seg + segmented_maximum_accumulate(
+        A - (cum_seg - S), seg
+    )

@@ -1,0 +1,357 @@
+"""Column-native trace simulation for million-request scenarios.
+
+The trace backend (:mod:`repro.sim.trace`) already replaced the event
+loop with array kernels, but its orchestration is per-request Python:
+one RNG spawn, one dict entry and one arrival array *per request*.  At
+1M requests that is minutes of setup for seconds of kernel time.  This
+backend keeps the same two-sweep structure — causal rounds × hop
+levels establishing when every packet reaches every instance, then one
+full-load measurement pass per instance — but works on whole-run
+packet columns:
+
+* arrivals are one vectorized draw: per-request Poisson *counts*, then
+  uniform order statistics on ``[0, duration)`` (exactly the
+  conditional law of a Poisson process given its count);
+* each hop level is one ``(instance, time)`` lexsort plus one
+  segmented Lindley pass (:func:`~repro.sim.kernels.segmented_lindley`)
+  over *all* instances at that level simultaneously;
+* cross-pass backlog (the trace backend's departure frontier) is one
+  global ``searchsorted`` against the accumulated history, keyed by
+  ``instance * span + time``;
+* the measurement sweep is a single lexsort + segmented Lindley over
+  every recorded (packet, hop, round) visit, scattered back per packet
+  with ``bincount``.
+
+RNG stream layout (documented, relied on by tests)
+--------------------------------------------------
+``SeedSequence(config.seed)`` spawns four roots, in order: arrival
+counts+times, causal-sweep services, delivery coins, measurement
+services.  Each root seeds ONE global generator consumed in
+deterministic (round, level, sorted-batch) order — unlike the trace
+backend's per-request/per-instance spawns, so the two backends agree
+in distribution only (the same contract the trace backend has with the
+event engine; see docs/SCALE.md and docs/SIM_BACKENDS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.arrays import ScenarioArrays, ScheduleArrays
+from repro.exceptions import SimulationError
+from repro.sim.kernels import segmented_lindley, segmented_maximum_accumulate
+from repro.sim.trace import MAX_FEEDBACK_ROUNDS
+
+__all__ = ["ScaleSimMetrics", "simulate_columns"]
+
+
+@dataclass
+class ScaleSimMetrics:
+    """Array-shaped statistics of one column-native simulation run.
+
+    The dict-of-lists shape of
+    :class:`~repro.sim.metrics.SimulationMetrics` (per-request latency
+    lists keyed by id) costs more than the simulation at 1M requests;
+    this report keeps everything as per-request / per-instance columns.
+    """
+
+    duration: float
+    generated: int
+    #: Packets counted as delivered per request (post-warmup, coin ok).
+    delivered: np.ndarray
+    #: Packets that needed at least one retransmission, per request.
+    retransmitted: np.ndarray
+    #: Summed end-to-end latency of counted deliveries, per request.
+    latency_sum: np.ndarray
+    #: Per-instance: packets seen / completed before the horizon.
+    instance_arrivals: np.ndarray
+    instance_departures: np.ndarray
+    #: Per-instance mean sojourn over completed packets (0 where idle).
+    instance_mean_sojourn: np.ndarray
+    #: Per-instance busy fraction of ``[0, duration)``, clipped to 1.
+    instance_utilization: np.ndarray
+
+    @property
+    def total_delivered(self) -> int:
+        return int(self.delivered.sum())
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean end-to-end latency over every counted delivery."""
+        done = self.total_delivered
+        return float(self.latency_sum.sum() / done) if done else float("nan")
+
+    @property
+    def throughput(self) -> float:
+        """Counted deliveries per simulated second."""
+        return (
+            self.total_delivered / self.duration if self.duration else 0.0
+        )
+
+
+class _History:
+    """Departure frontier of every causal pass, per instance.
+
+    Stores (instance, arrival, running-max departure) of all packets
+    already swept, sorted by ``instance * span + arrival`` so one
+    global ``searchsorted`` answers "latest backlog this arrival sees
+    at its instance" for a whole level at once.
+    """
+
+    def __init__(self, span: float) -> None:
+        self._span = span
+        self._keys = np.empty(0, dtype=np.float64)
+        self._inst = np.empty(0, dtype=np.int64)
+        self._dep_cummax = np.empty(0, dtype=np.float64)
+
+    def key_of(self, inst: np.ndarray, t: np.ndarray) -> np.ndarray:
+        return inst.astype(np.float64) * self._span + t
+
+    def waits(self, inst: np.ndarray, t: np.ndarray) -> np.ndarray:
+        """Residual backlog each (instance, time) arrival queues behind."""
+        if not self._keys.size:
+            return np.zeros(t.shape, dtype=np.float64)
+        idx = np.searchsorted(self._keys, self.key_of(inst, t), "right") - 1
+        safe = np.maximum(idx, 0)
+        valid = (idx >= 0) & (self._inst[safe] == inst)
+        return np.where(
+            valid, np.clip(self._dep_cummax[safe] - t, 0.0, None), 0.0
+        )
+
+    def record(
+        self, inst: np.ndarray, t: np.ndarray, dep: np.ndarray
+    ) -> None:
+        """Merge one swept batch (already (instance, time)-sorted)."""
+        keys = np.concatenate([self._keys, self.key_of(inst, t)])
+        all_inst = np.concatenate([self._inst, inst])
+        all_dep = np.concatenate([self._dep_cummax, dep])
+        order = np.argsort(keys, kind="stable")
+        self._keys = keys[order]
+        self._inst = all_inst[order]
+        self._dep_cummax = segmented_maximum_accumulate(
+            all_dep[order], self._inst
+        )
+
+
+def simulate_columns(
+    arrays: ScenarioArrays,
+    sched: ScheduleArrays,
+    config: Optional[object] = None,
+) -> ScaleSimMetrics:
+    """Run one column-native trace simulation over a scheduled scenario.
+
+    ``config`` is a :class:`~repro.sim.simulator.SimulationConfig`
+    (``None`` uses its defaults).  Every chain entry must be scheduled;
+    packet times are always float64 regardless of the scenario's dtype
+    policy (horizon arithmetic needs the precision — only the static
+    columns shrink under the lean policy).
+    """
+    from repro.sim.simulator import SimulationConfig
+
+    cfg = config if config is not None else SimulationConfig()
+    horizon = float(cfg.duration)
+    num_requests = len(arrays.request_ids)
+    num_instances = arrays.num_instances
+
+    slot_inst = arrays.chain_instances(sched)
+    if (slot_inst < 0).any():
+        entry = int(np.argmax(slot_inst < 0))
+        raise SimulationError(
+            f"chain entry {entry} has no schedule assignment; "
+            "simulate_columns needs a complete schedule"
+        )
+    chain_ptr = arrays.chain_ptr.astype(np.int64, copy=False)
+    chain_len = np.diff(chain_ptr)
+    mu_inst = arrays.mu_inst.astype(np.float64, copy=False)
+    P_r = arrays.P_r.astype(np.float64, copy=False)
+    lam = arrays.lambda_r.astype(np.float64, copy=False)
+
+    root = np.random.SeedSequence(int(cfg.seed))
+    arrival_seq, sweep_seq, coin_seq, measure_seq = root.spawn(4)
+    arrival_rng = np.random.default_rng(arrival_seq)
+    sweep_rng = np.random.default_rng(sweep_seq)
+    coin_rng = np.random.default_rng(coin_seq)
+    measure_rng = np.random.default_rng(measure_seq)
+
+    # ------------------------------------------------------------------
+    # Batched arrivals: Poisson counts, then uniform order statistics.
+    # ------------------------------------------------------------------
+    counts = arrival_rng.poisson(lam * horizon)
+    generated = int(counts.sum())
+    pkt_req = np.repeat(
+        np.arange(num_requests, dtype=np.int64), counts
+    )
+    raw = arrival_rng.random(generated) * horizon
+    order = np.lexsort((raw, pkt_req))
+    created = raw[order]  # sorted within each request's segment
+    del raw
+
+    extra_delay = np.zeros(generated, dtype=np.float64)
+    delivered = np.zeros(num_requests, dtype=np.int64)
+    retransmitted = np.zeros(num_requests, dtype=np.int64)
+    latency_sum = np.zeros(num_requests, dtype=np.float64)
+    counted_pkts: List[np.ndarray] = []
+
+    history = _History(span=horizon * (1.0 + 1e-9) + 1.0)
+    # Measurement-pass records: every (packet, hop, round) visit.
+    m_inst: List[np.ndarray] = []
+    m_arr: List[np.ndarray] = []
+    m_pkt: List[np.ndarray] = []
+
+    # Alive packet state for the current round.
+    pkt = np.arange(generated, dtype=np.int64)
+    t = created.copy()
+    round_index = 0
+    while pkt.size:
+        if round_index >= MAX_FEEDBACK_ROUNDS:
+            raise SimulationError(
+                f"feedback did not drain after {MAX_FEEDBACK_ROUNDS} "
+                "rounds; check delivery probabilities and load"
+            )
+        req = pkt_req[pkt]
+        lens = chain_len[req]
+        max_len = int(lens.max())
+        finished_pkt: List[np.ndarray] = []
+        finished_t: List[np.ndarray] = []
+        for level in range(max_len):
+            active = lens > level
+            if not active.any():
+                break
+            a_pkt = pkt[active]
+            a_t = t[active]
+            a_req = req[active]
+            inst = slot_inst[chain_ptr[a_req] + level]
+            batch = np.lexsort((a_t, inst))
+            b_inst = inst[batch]
+            b_t = a_t[batch]
+            b_pkt = a_pkt[batch]
+            services = sweep_rng.standard_exponential(b_t.size) / mu_inst[
+                b_inst
+            ]
+            waits = history.waits(b_inst, b_t)
+            dep = segmented_lindley(b_t + waits, services, b_inst)
+            m_inst.append(b_inst)
+            m_arr.append(b_t)
+            m_pkt.append(b_pkt)
+            history.record(b_inst, b_t, dep)
+            # Scatter departures back to the round's packet state;
+            # completions at or past the horizon go no further.
+            dep_unsorted = np.empty_like(dep)
+            dep_unsorted[np.flatnonzero(active)[batch]] = dep
+            t = np.where(active, dep_unsorted, t)
+            done_here = active & (lens == level + 1)
+            alive = ~done_here & (~active | (t < horizon))
+            ends = done_here & (t < horizon)
+            if ends.any():
+                finished_pkt.append(pkt[ends])
+                finished_t.append(t[ends])
+            pkt, t, req, lens = (
+                pkt[alive], t[alive], req[alive], lens[alive]
+            )
+            active = lens > level  # unused; keep shapes consistent
+
+        # ----------------------------------------------------------
+        # Delivery coins for every chain that completed this round.
+        # ----------------------------------------------------------
+        if finished_pkt:
+            f_pkt = np.concatenate(finished_pkt)
+            f_t = np.concatenate(finished_t)
+        else:
+            f_pkt = np.empty(0, dtype=np.int64)
+            f_t = np.empty(0, dtype=np.float64)
+        if f_pkt.size:
+            f_req = pkt_req[f_pkt]
+            ok = coin_rng.random(f_pkt.size) < P_r[f_req]
+            measured = created[f_pkt] >= cfg.warmup
+            counted = ok & measured
+            delivered += np.bincount(
+                f_req[counted], minlength=num_requests
+            )
+            latency_chunk = f_pkt[counted]
+            counted_pkts.append(latency_chunk)
+            failed = ~ok
+            if round_index == 0:
+                retransmitted += np.bincount(
+                    f_req[failed & measured], minlength=num_requests
+                )
+            retry_t = f_t[failed] + cfg.nack_delay
+            retry_pkt = f_pkt[failed]
+            keep = retry_t < horizon
+            retry_t, retry_pkt = retry_t[keep], retry_pkt[keep]
+            if cfg.nack_delay > 0.0 and retry_pkt.size:
+                extra_delay[retry_pkt] += cfg.nack_delay
+            pkt = np.concatenate([pkt, retry_pkt])
+            t = np.concatenate([t, retry_t])
+        round_index += 1
+
+    # ------------------------------------------------------------------
+    # Measurement sweep: one merged full-load pass per instance.
+    # ------------------------------------------------------------------
+    sojourn_sums = np.zeros(generated, dtype=np.float64)
+    inst_arrivals = np.zeros(num_instances, dtype=np.int64)
+    inst_departures = np.zeros(num_instances, dtype=np.int64)
+    inst_sojourn = np.zeros(num_instances, dtype=np.float64)
+    inst_busy = np.zeros(num_instances, dtype=np.float64)
+    if m_inst:
+        all_inst = np.concatenate(m_inst)
+        all_arr = np.concatenate(m_arr)
+        all_pkt = np.concatenate(m_pkt)
+        order = np.lexsort((all_arr, all_inst))
+        all_inst = all_inst[order]
+        all_arr = all_arr[order]
+        all_pkt = all_pkt[order]
+        services = measure_rng.standard_exponential(
+            all_arr.size
+        ) / mu_inst[all_inst]
+        dep = segmented_lindley(all_arr, services, all_inst)
+        sojourns = dep - all_arr
+        sojourn_sums = np.bincount(
+            all_pkt, weights=sojourns, minlength=generated
+        )
+        inst_arrivals = np.bincount(all_inst, minlength=num_instances)
+        done = dep < horizon
+        inst_departures = np.bincount(
+            all_inst[done], minlength=num_instances
+        )
+        inst_sojourn = np.bincount(
+            all_inst[done], weights=sojourns[done], minlength=num_instances
+        )
+        with np.errstate(invalid="ignore"):
+            inst_sojourn = np.where(
+                inst_departures > 0,
+                inst_sojourn / np.maximum(inst_departures, 1),
+                0.0,
+            )
+        overlap = np.clip(np.minimum(dep, horizon) - (dep - services), 0.0, None)
+        inst_busy = np.bincount(
+            all_inst, weights=overlap, minlength=num_instances
+        )
+    utilization = (
+        np.minimum(1.0, inst_busy / horizon)
+        if horizon > 0.0
+        else np.zeros(num_instances)
+    )
+
+    # End-to-end latency of counted deliveries, summed per request.
+    if counted_pkts:
+        c_pkt = np.concatenate(counted_pkts)
+        latency_sum = np.bincount(
+            pkt_req[c_pkt],
+            weights=sojourn_sums[c_pkt] + extra_delay[c_pkt],
+            minlength=num_requests,
+        )
+
+    return ScaleSimMetrics(
+        duration=horizon,
+        generated=generated,
+        delivered=delivered,
+        retransmitted=retransmitted,
+        latency_sum=latency_sum,
+        instance_arrivals=inst_arrivals,
+        instance_departures=inst_departures,
+        instance_mean_sojourn=inst_sojourn,
+        instance_utilization=utilization,
+    )

@@ -10,6 +10,9 @@
 * :mod:`repro.workload.traces` — synthetic trace generation standing in
   for the datacenter measurements of Benson et al. (see DESIGN.md's
   substitution table).
+* :mod:`repro.workload.stream` — object-free streaming construction of
+  :class:`~repro.core.arrays.ScenarioArrays` columns for
+  million-request scenarios (see docs/SCALE.md).
 """
 
 from repro.workload.catalog import (
@@ -21,6 +24,12 @@ from repro.workload.catalog import (
 )
 from repro.workload.generator import GeneratedWorkload, WorkloadGenerator
 from repro.workload.mmpp import MMPP2, poisson_equivalent
+from repro.workload.stream import (
+    StreamedScenario,
+    materialize_requests,
+    rescale_to_stability,
+    stream_scenario,
+)
 from repro.workload.traces import (
     empirical_rate_from_trace,
     lognormal_interarrival_trace,
@@ -40,4 +49,8 @@ __all__ = [
     "empirical_rate_from_trace",
     "MMPP2",
     "poisson_equivalent",
+    "StreamedScenario",
+    "stream_scenario",
+    "materialize_requests",
+    "rescale_to_stability",
 ]

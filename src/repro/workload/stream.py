@@ -1,0 +1,411 @@
+"""Object-free streaming scenario construction for million-request scale.
+
+``WorkloadGenerator.requests`` materializes one :class:`Request` object
+per request — at 1M requests that is gigabytes of Python objects and
+minutes of interpreter time before a single kernel runs.  This module
+samples the request table as numpy columns directly and hands them to
+:meth:`ScenarioArrays.from_columns`, never creating a per-request
+object.  The small entities (VNFs, chains, node capacities) still come
+from :class:`WorkloadGenerator` — they are thousands, not millions, and
+solver front-ends (``PlacementProblem``) want the objects anyway.
+
+Contract (pinned by ``tests/workload/test_stream.py``):
+
+* **Construction parity.**  For any seed, the streamed columns are
+  *exactly equal* (``==`` elementwise, identical dtypes under the same
+  policy) to ``ScenarioArrays.build`` over the request objects returned
+  by :func:`materialize_requests` on the same scenario.  The object
+  path stays the semantic reference; the stream path is the scale path.
+* **Chunk invariance.**  All random draws happen up front in two
+  vectorized calls (chain choices, then rates) so results are
+  independent of ``chunk_size``; chunking bounds only the *transient*
+  CSR-assembly memory, not the output.
+* **Own RNG layout.**  The macro draw order matches
+  ``WorkloadGenerator.workload`` (vnfs → chains → requests →
+  capacities), but within the request stage the object path interleaves
+  two scalar draws per request while this path issues one
+  ``integers(0, C, n)`` block then one ``uniform(lo, hi, n)`` block.
+  Streamed scenarios therefore match *each other* across chunk sizes
+  and match the object path built from their own materialization — not
+  the object path run on the same seed.
+
+Request ids are never materialized either: :class:`SequentialIds` /
+:class:`SequentialIndex` present the canonical ``f"{prefix}{i}"`` ids
+as lazy sequence/mapping views (a 1M-entry tuple-of-str plus dict costs
+more memory than every numpy column combined), and
+:class:`ChainNamesView` derives the per-CSR-slot VNF names from the
+``chain_vnf`` column itself.
+
+See ``docs/SCALE.md`` for how this layer composes with the lean dtype
+policy and the shared-memory Monte-Carlo passing.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping as MappingABC
+from collections.abc import Sequence as SequenceABC
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.arrays import ScenarioArrays
+from repro.core.dtypes import ensure_index_capacity, resolve_policy
+from repro.exceptions import ConfigurationError
+from repro.nfv.chain import ServiceChain
+from repro.nfv.request import Request
+from repro.nfv.vnf import VNF
+from repro.seeding import RngLike, resolve_rng
+from repro.workload.generator import WorkloadGenerator
+
+__all__ = [
+    "ChainNamesView",
+    "SequentialIds",
+    "SequentialIndex",
+    "StreamedScenario",
+    "materialize_requests",
+    "rescale_to_stability",
+    "stream_scenario",
+]
+
+#: Default number of requests whose CSR rows are assembled per pass.
+DEFAULT_CHUNK_SIZE = 1 << 18
+
+
+# ----------------------------------------------------------------------
+# Lazy id / name views
+# ----------------------------------------------------------------------
+class SequentialIds(SequenceABC):
+    """Read-only view of the ids ``f"{prefix}{i}"`` for ``i < n``.
+
+    Behaves like the tuple ``ScenarioArrays.build`` would store, without
+    holding a string object per request.
+    """
+
+    __slots__ = ("_prefix", "_n")
+
+    def __init__(self, prefix: str, n: int) -> None:
+        self._prefix = prefix
+        self._n = int(n)
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __getitem__(self, i):
+        if isinstance(i, slice):
+            return [self[j] for j in range(*i.indices(self._n))]
+        i = int(i)
+        if i < 0:
+            i += self._n
+        if not 0 <= i < self._n:
+            raise IndexError(f"request index {i} out of range [0, {self._n})")
+        return f"{self._prefix}{i}"
+
+    def __repr__(self) -> str:
+        return f"SequentialIds(prefix={self._prefix!r}, n={self._n})"
+
+
+class SequentialIndex(MappingABC):
+    """Read-only ``id -> row`` mapping for :class:`SequentialIds`.
+
+    Lookups parse the trailing integer instead of probing a dict; only
+    canonical ids (``prefix`` + decimal without leading zeros, in
+    range) resolve, exactly mirroring the eager dict's key set.
+    """
+
+    __slots__ = ("_prefix", "_n")
+
+    def __init__(self, prefix: str, n: int) -> None:
+        self._prefix = prefix
+        self._n = int(n)
+
+    def _parse(self, rid) -> Optional[int]:
+        if not isinstance(rid, str) or not rid.startswith(self._prefix):
+            return None
+        tail = rid[len(self._prefix):]
+        if not tail.isdigit():
+            return None
+        row = int(tail)
+        if str(row) != tail or row >= self._n:
+            return None
+        return row
+
+    def __getitem__(self, rid) -> int:
+        row = self._parse(rid)
+        if row is None:
+            raise KeyError(rid)
+        return row
+
+    def __contains__(self, rid) -> bool:
+        return self._parse(rid) is not None
+
+    def __iter__(self):
+        for i in range(self._n):
+            yield f"{self._prefix}{i}"
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __repr__(self) -> str:
+        return f"SequentialIndex(prefix={self._prefix!r}, n={self._n})"
+
+
+class ChainNamesView(SequenceABC):
+    """Per-CSR-slot VNF names derived lazily from the ``chain_vnf`` column."""
+
+    __slots__ = ("_vnf_names", "_chain_vnf")
+
+    def __init__(self, vnf_names: Sequence[str], chain_vnf: np.ndarray) -> None:
+        self._vnf_names = tuple(vnf_names)
+        self._chain_vnf = chain_vnf
+
+    def __len__(self) -> int:
+        return len(self._chain_vnf)
+
+    def __getitem__(self, i):
+        if isinstance(i, slice):
+            return [self._vnf_names[int(v)] for v in self._chain_vnf[i]]
+        return self._vnf_names[int(self._chain_vnf[i])]
+
+    def __repr__(self) -> str:
+        return f"ChainNamesView(n={len(self)})"
+
+
+# ----------------------------------------------------------------------
+# Streamed scenario
+# ----------------------------------------------------------------------
+@dataclass
+class StreamedScenario:
+    """A problem instance whose request table exists only as columns.
+
+    ``vnfs`` / ``chains`` / ``capacities`` are ordinary entity objects
+    (small); ``arrays`` is the full columnar scenario; ``chain_choice``
+    records which chain each request drew so the object path can be
+    rebuilt for parity checks (:func:`materialize_requests`).
+    ``stability_scale`` is the factor applied by
+    :func:`rescale_to_stability` (``1.0`` when not requested).
+    """
+
+    vnfs: List[VNF]
+    chains: List[ServiceChain]
+    capacities: Dict[str, float]
+    arrays: ScenarioArrays
+    chain_choice: np.ndarray
+    request_prefix: str = "r"
+    stability_scale: float = 1.0
+
+    @property
+    def num_requests(self) -> int:
+        return len(self.arrays.request_ids)
+
+
+def _assemble_chain_csr(
+    choices: np.ndarray,
+    chain_flat: np.ndarray,
+    chain_ptr_c: np.ndarray,
+    idt: np.dtype,
+    chunk_size: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Gather the request-major chain CSR from per-request chain choices.
+
+    Works in chunks of ``chunk_size`` requests so the transient index
+    scratch stays bounded; the output is identical for any chunk size
+    because the choices are fixed up front.
+    """
+    n = len(choices)
+    counts = np.diff(chain_ptr_c)[choices]  # int64 chain lengths
+    ptr64 = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=ptr64[1:])
+    total = int(ptr64[-1])
+    ensure_index_capacity(total, idt, "chain CSR table")
+    out_req = np.empty(total, dtype=idt)
+    out_vnf = np.empty(total, dtype=idt)
+    for start in range(0, n, chunk_size):
+        stop = min(start + chunk_size, n)
+        cnt = counts[start:stop]
+        lo, hi = int(ptr64[start]), int(ptr64[stop])
+        if hi == lo:
+            continue
+        # Within-chunk local position of every CSR slot…
+        starts = np.cumsum(cnt) - cnt
+        local = np.arange(hi - lo, dtype=np.int64) - np.repeat(starts, cnt)
+        # …offset by each request's chain start in the flat chain table.
+        src = np.repeat(chain_ptr_c[choices[start:stop]], cnt) + local
+        out_vnf[lo:hi] = chain_flat[src]
+        out_req[lo:hi] = np.repeat(
+            np.arange(start, stop, dtype=np.int64), cnt
+        ).astype(idt, copy=False)
+    return out_req, out_vnf, ptr64.astype(idt, copy=False)
+
+
+def stream_scenario(
+    num_vnfs: int,
+    num_nodes: int,
+    num_requests: int,
+    num_chains: Optional[int] = None,
+    instance_range: Tuple[int, int] = (1, 25),
+    rate_range: Tuple[float, float] = (1.0, 100.0),
+    delivery_probability: float = 1.0,
+    tight_capacities: bool = True,
+    capacity_headroom: float = 1.3,
+    prefix: str = "r",
+    rng: Optional[RngLike] = None,
+    dtypes=None,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> StreamedScenario:
+    """Generate a complete instance with an object-free request table.
+
+    Mirrors :meth:`WorkloadGenerator.workload` (same parameters, same
+    macro draw order) but samples the request columns vectorized and
+    assembles the chain CSR in bounded chunks.  ``dtypes`` selects the
+    column :class:`~repro.core.dtypes.DtypePolicy`; ``chunk_size``
+    bounds transient assembly memory without affecting the result.
+    """
+    if num_requests < 1:
+        raise ConfigurationError(
+            f"request count must be >= 1, got {num_requests!r}"
+        )
+    if chunk_size < 1:
+        raise ConfigurationError(
+            f"chunk size must be >= 1, got {chunk_size!r}"
+        )
+    lo, hi = rate_range
+    if not 0.0 < lo <= hi:
+        raise ConfigurationError(
+            f"rate range must satisfy 0 < lo <= hi, got {rate_range!r}"
+        )
+    if not 0.0 < delivery_probability <= 1.0:
+        raise ConfigurationError(
+            f"delivery probability must be in (0, 1], got "
+            f"{delivery_probability!r}"
+        )
+    policy = resolve_policy(dtypes)
+    idt, fdt = policy.index_dtype, policy.float_dtype
+    ensure_index_capacity(num_requests, idt, "request table")
+
+    generator = resolve_rng(rng)
+    gen = WorkloadGenerator(rng=generator)
+    vnfs = gen.vnfs(num_vnfs, instance_range=instance_range)
+    if num_chains is None:
+        num_chains = max(1, num_vnfs // 3)
+    chains = gen.chains(vnfs, num_chains)
+
+    # Request stage: two vectorized draws (choices, then rates) replace
+    # the object path's per-request interleaved scalars.  Drawing all
+    # choices before any CSR assembly is what makes the result
+    # chunk-size invariant.
+    choices = generator.integers(0, len(chains), size=num_requests)
+    rates = generator.uniform(lo, hi, size=num_requests)
+
+    if tight_capacities:
+        caps = gen.capacities_fitting(
+            num_nodes, vnfs, headroom=capacity_headroom
+        )
+    else:
+        caps = gen.capacities(num_nodes)
+
+    vnf_index = {f.name: i for i, f in enumerate(vnfs)}
+    chain_flat = np.fromiter(
+        (vnf_index[name] for c in chains for name in c.vnf_names),
+        dtype=np.int64,
+        count=sum(len(c.vnf_names) for c in chains),
+    )
+    chain_ptr_c = np.zeros(len(chains) + 1, dtype=np.int64)
+    np.cumsum([len(c.vnf_names) for c in chains], out=chain_ptr_c[1:])
+
+    chain_req, chain_vnf, chain_ptr = _assemble_chain_csr(
+        choices, chain_flat, chain_ptr_c, idt, chunk_size
+    )
+    arrays = ScenarioArrays.from_columns(
+        vnfs,
+        caps,
+        SequentialIds(prefix, num_requests),
+        SequentialIndex(prefix, num_requests),
+        rates.astype(fdt, copy=False),
+        np.full(num_requests, delivery_probability, dtype=fdt),
+        chain_req,
+        chain_vnf,
+        chain_ptr,
+        ChainNamesView(tuple(f.name for f in vnfs), chain_vnf),
+        dtypes=policy,
+    )
+    return StreamedScenario(
+        vnfs=vnfs,
+        chains=chains,
+        capacities=caps,
+        arrays=arrays,
+        chain_choice=choices,
+        request_prefix=prefix,
+    )
+
+
+# ----------------------------------------------------------------------
+# Stability rescale (vectorized twin of bench_core's reference helper)
+# ----------------------------------------------------------------------
+def rescale_to_stability(
+    scenario: StreamedScenario, target: float = 0.7
+) -> float:
+    """Scale arrival rates so every VNF pool stays below ``target``.
+
+    Computes each VNF's aggregate effective load ``sum_r U_r^f
+    lambda_r / P_r`` against its pool capacity ``M_f mu_f`` and, when
+    the worst utilization exceeds ``target``, multiplies every
+    ``lambda_r`` by ``target / worst`` in place (recomputing
+    ``eff_rate``).  Returns the factor applied (``1.0`` when already
+    stable) and records it on ``scenario.stability_scale``.
+
+    Matches the object-path reference (requests rebuilt with
+    ``arrival_rate * scale``) bit-for-bit under the default float64
+    policy: ``bincount`` accumulates weights in the same traversal
+    order as the per-request loop.
+    """
+    if not 0.0 < target < 1.0:
+        raise ConfigurationError(
+            f"target utilization must be in (0, 1), got {target!r}"
+        )
+    arr = scenario.arrays
+    known = arr.chain_vnf >= 0
+    load_f = np.bincount(
+        arr.chain_vnf[known].astype(np.int64, copy=False),
+        weights=arr.eff_rate.astype(np.float64, copy=False)[
+            arr.chain_req[known]
+        ],
+        minlength=len(arr.vnf_names),
+    )
+    pool = arr.M_f.astype(np.float64) * arr.mu_f.astype(np.float64)
+    used = pool > 0.0
+    if not used.any():
+        return 1.0
+    worst = float((load_f[used] / pool[used]).max())
+    if worst <= target:
+        return 1.0
+    scale = target / worst
+    np.multiply(arr.lambda_r, scale, out=arr.lambda_r)
+    np.divide(arr.lambda_r, arr.P_r, out=arr.eff_rate)
+    scenario.stability_scale *= scale
+    return scale
+
+
+# ----------------------------------------------------------------------
+# Parity bridge back to the object path
+# ----------------------------------------------------------------------
+def materialize_requests(scenario: StreamedScenario) -> List[Request]:
+    """Rebuild the :class:`Request` objects a streamed scenario encodes.
+
+    Only for parity tests and small-scale cross-checks — this is
+    exactly the per-request object cost the stream path exists to
+    avoid.  ``ScenarioArrays.build`` over the returned list reproduces
+    the streamed columns exactly (same dtype policy).
+    """
+    arr = scenario.arrays
+    lam = arr.lambda_r.astype(np.float64, copy=False)
+    P = arr.P_r.astype(np.float64, copy=False)
+    return [
+        Request(
+            request_id=f"{scenario.request_prefix}{i}",
+            chain=scenario.chains[int(c)],
+            arrival_rate=float(lam[i]),
+            delivery_probability=float(P[i]),
+        )
+        for i, c in enumerate(scenario.chain_choice)
+    ]

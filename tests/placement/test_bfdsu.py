@@ -107,3 +107,73 @@ class TestConsolidationQuality:
                 RandomFitPlacement(rng=np.random.default_rng(rep)).place(p2).num_used_nodes
             )
         assert np.mean(bfdsu_nodes) < np.mean(random_nodes)
+
+
+class TestBatchedDraws:
+    """``draw_block`` amortizes RNG dispatch without changing placements."""
+
+    def test_uniform_block_matches_scalar_stream(self):
+        from repro.core.deltas import UniformBlock
+
+        block = UniformBlock(np.random.default_rng(5), block=7)
+        scalar = np.random.default_rng(5)
+        for _ in range(25):
+            assert block.next() == scalar.random()
+
+    def test_scaled_block_draw_is_uniform_bitwise(self):
+        # The identity the whole feature rests on:
+        # uniform(0, s) == s * random(), one double consumed.
+        for seed in range(10):
+            a, b = np.random.default_rng(seed), np.random.default_rng(seed)
+            s = 3.7215
+            assert a.uniform(0.0, s) == s * b.random()
+
+    def test_block_validates(self):
+        from repro.core.deltas import UniformBlock
+
+        with pytest.raises(ValueError):
+            UniformBlock(np.random.default_rng(0), block=0)
+
+    @pytest.mark.parametrize("block", [1, 3, 4096])
+    def test_placements_identical_any_block_size(self, block):
+        rng = np.random.default_rng(99)
+        for seed in range(8):
+            demands = list(rng.uniform(2.0, 8.0, size=30))
+            problem_a = _problem(demands, [15.0] * 12)
+            problem_b = _problem(demands, [15.0] * 12)
+            plain = BFDSUPlacement(rng=np.random.default_rng(seed)).place(
+                problem_a
+            )
+            batched = BFDSUPlacement(
+                rng=np.random.default_rng(seed), draw_block=block
+            ).place(problem_b)
+            assert batched.placement == plain.placement
+            assert batched.iterations == plain.iterations
+
+    def test_parity_through_restarts(self):
+        # Tight pack forces "go back to Begin"; the draw sequence must
+        # stay aligned across discarded attempts.
+        for seed in (11, 23, 57):
+            problem_a = _problem([5.0, 4.0, 3.0, 3.0, 3.0], [9.0, 9.0])
+            problem_b = _problem([5.0, 4.0, 3.0, 3.0, 3.0], [9.0, 9.0])
+            plain = BFDSUPlacement(rng=np.random.default_rng(seed)).place(
+                problem_a
+            )
+            batched = BFDSUPlacement(
+                rng=np.random.default_rng(seed), draw_block=2
+            ).place(problem_b)
+            assert batched.placement == plain.placement
+            assert batched.iterations == plain.iterations
+
+    def test_parity_across_repeated_place_calls(self):
+        # The block persists on the object: the second place() continues
+        # from the buffered stream position, matching two scalar calls.
+        plain = BFDSUPlacement(rng=np.random.default_rng(4))
+        batched = BFDSUPlacement(rng=np.random.default_rng(4), draw_block=5)
+        for demands in ([6.0, 5.0, 4.0, 3.0], [2.0] * 9, [7.0, 7.0, 1.0]):
+            problem_a = _problem(demands, [10.0] * 6)
+            problem_b = _problem(demands, [10.0] * 6)
+            assert (
+                batched.place(problem_b).placement
+                == plain.place(problem_a).placement
+            )

@@ -1,0 +1,156 @@
+"""Parity tests: column-native scheduling vs the per-VNF object path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.arrays import ScenarioArrays
+from repro.core.dtypes import LEAN_POLICY
+from repro.core.evaluation import evaluate_columns, evaluate_deployment
+from repro.exceptions import SchedulingError, ValidationError
+from repro.nfv.state import DeploymentState
+from repro.placement.bfdsu import BFDSUPlacement
+from repro.placement.base import PlacementProblem
+from repro.scheduling.base import schedule_all_vnfs
+from repro.scheduling.kernels import (
+    least_loaded_assign,
+    round_robin_assign,
+    schedule_columns,
+)
+from repro.scheduling.least_loaded import LeastLoadedScheduler
+from repro.scheduling.round_robin import RoundRobinScheduler
+from repro.workload.generator import WorkloadGenerator
+
+
+@pytest.fixture
+def workload():
+    gen = WorkloadGenerator(rng=np.random.default_rng(13))
+    return gen.workload(num_vnfs=10, num_nodes=16, num_requests=80)
+
+
+SCHEDULERS = {
+    "least_loaded": LeastLoadedScheduler(),
+    "round_robin": RoundRobinScheduler(),
+}
+
+
+class TestAssignKernels:
+    def test_least_loaded_matches_heap_semantics(self):
+        rates = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0]
+        k = least_loaded_assign(rates, 3)
+        # Replay by hand: loads start at 0, ties break on lowest index.
+        loads = [0.0, 0.0, 0.0]
+        expected = []
+        for r in rates:
+            j = min(range(3), key=lambda i: (loads[i], i))
+            expected.append(j)
+            loads[j] += r
+        assert k.tolist() == expected
+
+    def test_round_robin_closed_form(self):
+        assert round_robin_assign([1.0] * 7, 3).tolist() == [
+            0, 1, 2, 0, 1, 2, 0,
+        ]
+
+    def test_rejects_zero_instances(self):
+        with pytest.raises(SchedulingError):
+            least_loaded_assign([1.0], 0)
+        with pytest.raises(SchedulingError):
+            round_robin_assign([1.0], 0)
+
+
+class TestScheduleColumnsParity:
+    @pytest.mark.parametrize("policy", ["least_loaded", "round_robin"])
+    def test_rows_identical_to_object_path(self, workload, policy):
+        arrays = ScenarioArrays.build(
+            workload.vnfs, workload.requests, workload.capacities
+        )
+        joint = schedule_all_vnfs(
+            workload.vnfs, workload.requests, SCHEDULERS[policy]
+        )
+        ref = arrays.schedule_arrays(joint)
+        got = schedule_columns(arrays, policy=policy)
+        for name in ("req", "vnf", "k", "inst"):
+            np.testing.assert_array_equal(
+                getattr(got, name), getattr(ref, name), err_msg=name
+            )
+            assert getattr(got, name).dtype == getattr(ref, name).dtype
+
+    def test_lean_dtype_indices_exact(self, workload):
+        lean = ScenarioArrays.build(
+            workload.vnfs, workload.requests, workload.capacities,
+            dtypes=LEAN_POLICY,
+        )
+        default = ScenarioArrays.build(
+            workload.vnfs, workload.requests, workload.capacities
+        )
+        got = schedule_columns(lean, policy="round_robin")
+        ref = schedule_columns(default, policy="round_robin")
+        assert got.req.dtype == np.int32
+        np.testing.assert_array_equal(got.req.astype(np.int64), ref.req)
+        np.testing.assert_array_equal(got.k.astype(np.int64), ref.k)
+
+    def test_custom_callable_policy(self, workload):
+        arrays = ScenarioArrays.build(
+            workload.vnfs, workload.requests, workload.capacities
+        )
+        got = schedule_columns(
+            arrays, policy=lambda rates, m: np.zeros(len(rates), dtype=np.int64)
+        )
+        assert (got.k == 0).all()
+
+    def test_unknown_policy_rejected(self, workload):
+        arrays = ScenarioArrays.build(
+            workload.vnfs, workload.requests, workload.capacities
+        )
+        with pytest.raises(ValidationError):
+            schedule_columns(arrays, policy="nope")
+
+
+class TestEvaluateColumnsParity:
+    def test_matches_state_evaluation(self, workload):
+        arrays = ScenarioArrays.build(
+            workload.vnfs, workload.requests, workload.capacities
+        )
+        placement = BFDSUPlacement(rng=np.random.default_rng(5)).place(
+            PlacementProblem(
+                vnfs=workload.vnfs, capacities=workload.capacities
+            )
+        )
+        joint = schedule_all_vnfs(
+            workload.vnfs, workload.requests, LeastLoadedScheduler()
+        )
+        state = DeploymentState(
+            vnfs=workload.vnfs,
+            requests=workload.requests,
+            node_capacities=workload.capacities,
+            placement=placement.placement,
+            schedule=joint,
+        )
+        ref = evaluate_deployment(state, with_admission=False)
+        got = evaluate_columns(
+            arrays,
+            arrays.placement_vector(placement.placement),
+            schedule_columns(arrays, policy="least_loaded"),
+        )
+        assert got.average_node_utilization == pytest.approx(
+            ref.average_node_utilization, rel=1e-12
+        )
+        assert got.nodes_in_service == ref.nodes_in_service
+        assert got.resource_occupation == pytest.approx(
+            ref.resource_occupation, rel=1e-12
+        )
+        assert got.max_instance_utilization == pytest.approx(
+            ref.max_instance_utilization, rel=1e-12
+        )
+        if np.isfinite(ref.average_response_latency):
+            assert got.average_response_latency == pytest.approx(
+                ref.average_response_latency, rel=1e-12
+            )
+            assert got.total_latency == pytest.approx(
+                ref.total_latency, rel=1e-12
+            )
+        else:
+            assert not np.isfinite(got.average_response_latency)
+        assert got.num_rejected == 0
