@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-core bench-solvers bench-sim bench-topo bench-serve bench-scale lint experiments examples ci clean
+.PHONY: install test bench bench-core bench-solvers bench-sim bench-topo bench-serve bench-scale bench-faults lint experiments examples ci clean
 
 PYTHON ?= python
 
@@ -29,6 +29,9 @@ bench-serve:
 bench-scale:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_scale.py --out benchmarks/bench_scale.json
 
+bench-faults:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_faults.py --out benchmarks/bench_faults.json
+
 # Lint via ruff when available (config in pyproject.toml); the runtime
 # image ships without it, so the gate degrades to a skip, not a failure.
 lint:
@@ -53,6 +56,7 @@ ci: lint
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_topo.py --quick --out benchmarks/bench_topo.json
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_serve.py --quick --min-speedup 50 --out benchmarks/bench_serve.json
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_scale.py --quick --sim-packets 1e6 --max-seconds 300 --max-rss-mb 6144 --out benchmarks/bench_scale.json
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_faults.py --quick --max-p99-ms 2000 --out benchmarks/bench_faults.json
 
 examples:
 	@for f in examples/*.py; do echo "== $$f =="; $(PYTHON) $$f; echo; done

@@ -36,12 +36,19 @@ def distill(report: dict) -> dict:
         "scenario": " / ".join(parts) or "(unknown)",
         "speedups": speedups,
     }
-    # Macro benchmarks (bench_scale) report absolute headline numbers —
-    # pipeline requests/s and peak RSS — instead of speedups.
+    # Macro benchmarks report absolute headline numbers instead of
+    # speedups — pipeline requests/s and peak RSS (bench_scale),
+    # recovery latency and eviction throughput (bench_faults).
     headline = {
         key: round(float(value), 2)
         for key, value in report.get("headline", {}).items()
-        if key in ("requests_per_sec", "peak_rss_mb")
+        if key
+        in (
+            "requests_per_sec",
+            "peak_rss_mb",
+            "recovery_p99_ms",
+            "evictions_per_sec",
+        )
     }
     if headline:
         entry["headline"] = headline

@@ -15,7 +15,9 @@ utilization drops below ``target_utilization``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
+
+import numpy as np
 
 from repro.exceptions import ValidationError
 from repro.nfv.instance import ServiceInstance
@@ -24,6 +26,50 @@ from repro.nfv.request import Request
 #: Default post-admission utilization ceiling.  Strictly below 1 so the
 #: M/M/1 steady state exists after shedding.
 DEFAULT_TARGET_UTILIZATION = 0.999
+
+
+def power_of_two_admit(
+    loads: np.ndarray,
+    rate: float,
+    rng: np.random.Generator,
+    capacity: Optional[float] = None,
+    fit_eps: float = 1e-9,
+) -> int:
+    """Power-of-two-choices warm-start admit: probe two, join the lighter.
+
+    The classic load-balancing result (Mitzenmacher): sampling *two*
+    uniform instances and joining the less loaded one drops the maximum
+    load from ``Theta(log M / log log M)`` to ``Theta(log log M)`` —
+    near-least-loaded quality at O(1) probe cost instead of the O(M)
+    argmin scan of :func:`~repro.scheduling.least_loaded
+    .least_loaded_admit`.
+
+    Two ``rng.integers`` probes are consumed per call (also when the
+    join is ultimately rejected), so the stream position is a pure
+    function of the admit sequence.  Ties — including probing the same
+    instance twice — resolve to the lower index, matching the argmin
+    convention.  With ``capacity`` given the winner must stay within
+    ``capacity + fit_eps`` (the Eq. (6) slack); a winner with
+    non-finite load (a masked/down instance) is rejected.  Returns the
+    instance index, or ``-1`` for rejection with every caller-side
+    residual untouched.
+    """
+    m = len(loads)
+    if not m:
+        return -1
+    picks = rng.integers(0, m, size=2)
+    i, j = int(picks[0]), int(picks[1])
+    if loads[i] < loads[j]:
+        k = i
+    elif loads[j] < loads[i]:
+        k = j
+    else:
+        k = min(i, j)
+    if not np.isfinite(loads[k]):
+        return -1
+    if capacity is not None and loads[k] + rate > capacity + fit_eps:
+        return -1
+    return k
 
 
 @dataclass(frozen=True)

@@ -66,6 +66,25 @@ def relocate_scores(
     return neighbor_counts, scores
 
 
+def best_allowed_target(
+    scores: np.ndarray, allowed: Optional[np.ndarray] = None
+) -> int:
+    """Best-scoring feasible target under an optional allow-mask.
+
+    The selection half of a masked relocate: ``scores`` follows the
+    :func:`relocate_scores` convention (``-1`` marks an infeasible
+    target), ``allowed`` is a boolean node mask (e.g. the non-failed
+    nodes during crash recovery — :mod:`repro.faults.recovery`).
+    Returns the argmax over the allowed feasible targets, first index
+    on ties (the deterministic ``np.argmax`` rule), or ``-1`` when no
+    target survives the mask.
+    """
+    if allowed is not None:
+        scores = np.where(allowed, scores, -1)
+    t = int(np.argmax(scores))
+    return t if scores[t] >= 0 else -1
+
+
 def best_bandwidth_feasible(
     network,
     fi: int,

@@ -34,6 +34,17 @@ from-scratch recompute to float accumulation error.
 The solvers underneath run the exact kernels of the batch path
 (:mod:`repro.core.deltas`); see ``docs/SERVING.md`` for the full
 contract (what is O(1), what triggers a rebuild).
+
+Failure support (PR 9)
+----------------------
+:meth:`fail_node` / :meth:`fail_instance` mass-evict every chain
+touching the failed component with the exact :meth:`depart` retraction
+and mark it unschedulable; :meth:`recover_node` /
+:meth:`recover_instance` restore it.  :meth:`move_vnf` relocates one
+VNF's instances (the repair primitive of :mod:`repro.faults.recovery`),
+and :meth:`rebalance` accepts a migration-cost ``budget``.  With no
+failures injected and no budget, every code path is byte-identical to
+the pre-fault engine — see ``docs/RESILIENCE.md``.
 """
 
 from __future__ import annotations
@@ -43,9 +54,13 @@ from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.admission import DEFAULT_TARGET_UTILIZATION
+from repro.core.admission import (
+    DEFAULT_TARGET_UTILIZATION,
+    power_of_two_admit,
+)
 from repro.core.arrays import ScenarioArrays
-from repro.exceptions import SchedulingError
+from repro.core.deltas import FIT_EPS
+from repro.exceptions import InfeasiblePlacementError, SchedulingError
 from repro.nfv.request import Request
 from repro.nfv.state import DeploymentState
 from repro.nfv.vnf import VNF
@@ -54,9 +69,13 @@ from repro.placement.bfdsu import BFDSUPlacement
 from repro.scheduling.base import SchedulingAlgorithm, schedule_all_vnfs
 from repro.scheduling.least_loaded import least_loaded_admit
 from repro.scheduling.rckk import RCKKScheduler
-from repro.seeding import DEFAULT_SEED
+from repro.seeding import DEFAULT_SEED, RngLike, resolve_rng
+
+#: Admission policies :class:`DeploymentEngine` knows how to run.
+ADMISSION_POLICIES = ("least-loaded", "power-of-two")
 
 __all__ = [
+    "ADMISSION_POLICIES",
     "AdmitReport",
     "DeploymentEngine",
     "RebalanceReport",
@@ -135,7 +154,9 @@ class AdmitReport:
     admitted: bool
     #: ``vnf_name -> instance k`` for an admitted request; empty else.
     assignment: Dict[str, int] = field(default_factory=dict)
-    #: ``None`` when admitted; ``"capacity"`` / ``"bandwidth"`` else.
+    #: ``None`` when admitted; ``"capacity"`` / ``"bandwidth"`` /
+    #: ``"unavailable"`` (a chain VNF sits on a failed node or has all
+    #: instances down) else.
     reason: Optional[str] = None
 
 
@@ -149,6 +170,10 @@ class RebalanceReport:
     schedule_migrations: int
     #: Requests active at rebalance time.
     active_requests: int
+    #: False when the solve was skipped — over the migration budget or
+    #: infeasible on the surviving (non-failed) nodes; engine state is
+    #: then unchanged.
+    committed: bool = True
 
     @property
     def total_migrations(self) -> int:
@@ -188,6 +213,16 @@ class DeploymentEngine:
         its least-loaded instance would exceed
         ``mu_f * target_utilization`` (the Eq. (9) stability margin of
         :mod:`repro.core.admission`).  ``None`` disables the cap.
+    admission:
+        Instance-selection rule for admits: ``"least-loaded"``
+        (default; :func:`~repro.scheduling.least_loaded
+        .least_loaded_admit`) or ``"power-of-two"``
+        (:func:`~repro.core.admission.power_of_two_admit` — two seeded
+        uniform probes per chain VNF, lower load wins).
+    admission_rng:
+        Seed policy for the ``"power-of-two"`` sampler, resolved via
+        :func:`repro.seeding.resolve_rng` (``None`` gives the
+        documented default stream).  Unused by ``"least-loaded"``.
     """
 
     def __init__(
@@ -201,6 +236,8 @@ class DeploymentEngine:
         topology=None,
         bandwidth=None,
         target_utilization: Optional[float] = DEFAULT_TARGET_UTILIZATION,
+        admission: str = "least-loaded",
+        admission_rng: RngLike = None,
     ) -> None:
         self._vnfs = tuple(vnfs)
         self._capacities = dict(node_capacities)
@@ -224,6 +261,22 @@ class DeploymentEngine:
         self._inst_loads = np.zeros(self._arrays.num_instances)
         self._network = None
         self._link_loads: Optional[np.ndarray] = None
+        if admission not in ADMISSION_POLICIES:
+            raise SchedulingError(
+                f"unknown admission policy {admission!r}; "
+                f"expected one of {ADMISSION_POLICIES}"
+            )
+        self._admission = admission
+        self._admission_rng = (
+            resolve_rng(admission_rng)
+            if admission == "power-of-two"
+            else None
+        )
+        #: Node keys currently marked failed (unschedulable).
+        self._failed_nodes: set = set()
+        #: Per-global-instance down mask; ``None`` until the first
+        #: instance fault so the fault-free path costs nothing.
+        self._down_inst: Optional[np.ndarray] = None
         self._resolve()
 
     # ------------------------------------------------------------------
@@ -242,6 +295,32 @@ class DeploymentEngine:
     def active_requests(self) -> Tuple[str, ...]:
         """Active request ids, in arrival order."""
         return tuple(self._requests)
+
+    @property
+    def arrays(self) -> ScenarioArrays:
+        """The engine's live columnar view (read-only by convention)."""
+        return self._arrays
+
+    @property
+    def failed_nodes(self) -> frozenset:
+        """Node keys currently marked failed."""
+        return frozenset(self._failed_nodes)
+
+    @property
+    def admission(self) -> str:
+        """The configured admission policy name."""
+        return self._admission
+
+    def placement_vector(self) -> np.ndarray:
+        """VNF index -> node index under the current placement (copy)."""
+        return self._placement_vec.copy()
+
+    def down_instances(self) -> np.ndarray:
+        """Boolean down-mask per global instance (copy; all-False when
+        no instance fault was ever injected)."""
+        if self._down_inst is None:
+            return np.zeros(self._arrays.num_instances, dtype=bool)
+        return self._down_inst.copy()
 
     @property
     def placement(self) -> Dict[str, Hashable]:
@@ -307,6 +386,13 @@ class DeploymentEngine:
             chain_idx[i] = fi
         eff = float(request.effective_rate)
 
+        if self._failed_nodes:
+            for name in chain_names:
+                if self._placement.get(name) in self._failed_nodes:
+                    return AdmitReport(
+                        request_id=rid, admitted=False, reason="unavailable"
+                    )
+
         joins: List[Tuple[int, int]] = []  # (vnf index, instance k)
         for fi in chain_idx:
             fi = int(fi)
@@ -317,10 +403,24 @@ class DeploymentEngine:
                 if self._target is None
                 else float(arrays.mu_f[fi]) * self._target
             )
-            k = least_loaded_admit(
-                self._inst_loads[off : off + m], eff, capacity=cap
-            )
-            if k < 0:
+            loads = self._inst_loads[off : off + m]
+            if self._down_inst is not None:
+                down = self._down_inst[off : off + m]
+                if down.all():
+                    return AdmitReport(
+                        request_id=rid, admitted=False, reason="unavailable"
+                    )
+                if down.any():
+                    # Masked copy: down instances can never win the
+                    # argmin / probe, the live loads are untouched.
+                    loads = np.where(down, np.inf, loads)
+            if self._admission == "power-of-two":
+                k = power_of_two_admit(
+                    loads, eff, self._admission_rng, capacity=cap
+                )
+            else:
+                k = least_loaded_admit(loads, eff, capacity=cap)
+            if k < 0 or not np.isfinite(loads[k]):
                 return AdmitReport(
                     request_id=rid, admitted=False, reason="capacity"
                 )
@@ -374,68 +474,382 @@ class DeploymentEngine:
             )
         arrays.remove_request(request_id)
 
-    def rebalance(self) -> RebalanceReport:
+    # ------------------------------------------------------------------
+    # Failure operations (repro.faults)
+    # ------------------------------------------------------------------
+    def evict(self, request_ids) -> List[Request]:
+        """Mass-depart a set of active requests; returns them in
+        arrival order.
+
+        Each eviction is the exact :meth:`depart` retraction (instance
+        loads and routed chain flows), so evicting any subset leaves
+        the residuals bit-identical to an engine rebuilt from the
+        survivors (pinned by ``tests/core/test_incremental.py``).
+
+        Raises
+        ------
+        SchedulingError
+            If some id is not active.
+        """
+        wanted = set(request_ids)
+        unknown = wanted - set(self._requests)
+        if unknown:
+            raise SchedulingError(
+                f"cannot evict unknown requests {sorted(unknown)!r}"
+            )
+        evicted = [
+            request
+            for rid, request in list(self._requests.items())
+            if rid in wanted
+        ]
+        for request in evicted:
+            self.depart(request.request_id)
+        return evicted
+
+    def fail_node(self, node) -> List[Request]:
+        """Crash one compute node: evict every chain it touches and
+        mark it unschedulable.
+
+        Every active request whose chain includes a VNF placed on
+        ``node`` is evicted (exact retraction, arrival order) and
+        returned so a recovery policy can re-admit it; subsequent
+        admits of such chains are rejected ``"unavailable"`` and
+        re-solves exclude the node until :meth:`recover_node`.
+        Failing an already-failed node is a no-op returning ``[]``.
+        """
+        if node not in self._capacities:
+            raise SchedulingError(f"unknown node {node!r}")
+        if node in self._failed_nodes:
+            return []
+        self._failed_nodes.add(node)
+        down_vnfs = {
+            name
+            for name, placed in self._placement.items()
+            if placed == node
+        }
+        if not down_vnfs:
+            return []
+        victims = [
+            rid
+            for rid, request in self._requests.items()
+            if any(name in down_vnfs for name in request.chain)
+        ]
+        return self.evict(victims)
+
+    def recover_node(self, node) -> None:
+        """Mark a failed node schedulable again (state is otherwise
+        untouched; re-placing VNFs onto it is the recovery policy's or
+        the next rebalance's job)."""
+        if node not in self._capacities:
+            raise SchedulingError(f"unknown node {node!r}")
+        self._failed_nodes.discard(node)
+
+    def fail_instance(self, vnf_name: str, k: int) -> List[Request]:
+        """Crash one service instance: evict its requests and mask it.
+
+        Active requests scheduled on instance ``k`` of ``vnf_name``
+        are evicted and returned; the instance is excluded from
+        admission until :meth:`recover_instance`.  Failing a
+        down instance again is a no-op returning ``[]``.
+        """
+        fi = self._arrays.vnf_index.get(vnf_name)
+        if fi is None:
+            raise SchedulingError(f"unknown VNF {vnf_name!r}")
+        if not 0 <= k < int(self._arrays.M_f[fi]):
+            raise SchedulingError(
+                f"VNF {vnf_name!r} has no instance {k!r}"
+            )
+        if self._down_inst is None:
+            self._down_inst = np.zeros(
+                self._arrays.num_instances, dtype=bool
+            )
+        gi = int(self._arrays.instance_offset[fi]) + k
+        if self._down_inst[gi]:
+            return []
+        self._down_inst[gi] = True
+        victims = [
+            rid
+            for rid in self._requests
+            if self._schedule.get((rid, vnf_name)) == k
+        ]
+        return self.evict(victims)
+
+    def recover_instance(self, vnf_name: str, k: int) -> None:
+        """Clear the down mask of one instance."""
+        fi = self._arrays.vnf_index.get(vnf_name)
+        if fi is None:
+            raise SchedulingError(f"unknown VNF {vnf_name!r}")
+        if not 0 <= k < int(self._arrays.M_f[fi]):
+            raise SchedulingError(
+                f"VNF {vnf_name!r} has no instance {k!r}"
+            )
+        if self._down_inst is not None:
+            self._down_inst[int(self._arrays.instance_offset[fi]) + k] = False
+
+    def move_vnf(self, vnf_name: str, node) -> bool:
+        """Relocate one VNF (all its instances) to another node.
+
+        The repair primitive behind :mod:`repro.faults.recovery`:
+        checks the target is healthy and has capacity headroom for the
+        VNF's ``M_f D_f``, then re-routes the chain flows of every
+        active request using the VNF (retract at the old node, re-add
+        at the new one, gated by the per-link residuals).  Returns
+        ``False`` — state untouched — when the move does not fit;
+        moving onto the current node is a trivial ``True``.
+        """
+        arrays = self._arrays
+        fi = arrays.vnf_index.get(vnf_name)
+        if fi is None:
+            raise SchedulingError(f"unknown VNF {vnf_name!r}")
+        ni = arrays.node_index.get(node)
+        if ni is None:
+            raise SchedulingError(f"unknown node {node!r}")
+        node = arrays.node_keys[ni]
+        if node in self._failed_nodes:
+            return False
+        source = int(self._placement_vec[fi])
+        if source == ni:
+            return True
+        loads = arrays.node_loads(self._placement_vec)
+        demand = float(arrays.total_demand_f[fi])
+        if loads[ni] + demand > float(arrays.A_v[ni]) + FIT_EPS:
+            return False
+
+        affected = []
+        if self._network is not None:
+            for request in self._requests.values():
+                if vnf_name not in request.chain:
+                    continue
+                chain_idx = np.asarray(
+                    [arrays.vnf_index[n] for n in request.chain],
+                    dtype=np.int64,
+                )
+                affected.append((chain_idx, float(request.effective_rate)))
+            for chain_idx, eff in affected:
+                self._network.add_chain_flows(
+                    chain_idx, self._placement_vec, self._link_loads, eff, -1.0
+                )
+        self._placement_vec[fi] = ni
+        if self._network is not None:
+            added = []
+            for chain_idx, eff in affected:
+                if not self._network.chain_fits(
+                    chain_idx, self._placement_vec, self._link_loads, eff
+                ):
+                    # Revert: drop what we re-added, restore the source
+                    # placement and every retracted flow.
+                    for c, e in added:
+                        self._network.add_chain_flows(
+                            c, self._placement_vec, self._link_loads, e, -1.0
+                        )
+                    self._placement_vec[fi] = source
+                    for c, e in affected:
+                        self._network.add_chain_flows(
+                            c, self._placement_vec, self._link_loads, e
+                        )
+                    return False
+                self._network.add_chain_flows(
+                    chain_idx, self._placement_vec, self._link_loads, eff
+                )
+                added.append((chain_idx, eff))
+        self._placement[vnf_name] = node
+        return True
+
+    def request_response_times(
+        self, link_latency: float = 0.0
+    ) -> Tuple[Tuple[str, ...], np.ndarray]:
+        """Live Eq. (14/16)-style latency per active request.
+
+        Each chain VNF contributes the M/M/1 sojourn of its assigned
+        instance under the *current* equivalent loads,
+        ``1 / (mu_f - Lambda_k^f)`` (``inf`` when saturated), and with
+        ``link_latency > 0`` every inter-node hop of the placed chain
+        adds that many seconds (the Eq. (16) communication term on a
+        hop-count fabric).  Returns ``(request_ids, latencies)`` in the
+        engine's columnar order — the SLA tracker's sampling hook.
+        """
+        arrays = self._arrays
+        ids = arrays.request_ids
+        if not self._schedule or not len(ids):
+            return tuple(ids), np.zeros(len(ids))
+        sched = arrays.schedule_arrays(self._schedule)
+        inst = arrays.chain_instances(sched)
+        with np.errstate(divide="ignore"):
+            sojourn = np.where(
+                self._inst_loads < arrays.mu_inst,
+                1.0 / (arrays.mu_inst - self._inst_loads),
+                np.inf,
+            )
+        latency = np.bincount(
+            arrays.chain_req,
+            weights=sojourn[inst],
+            minlength=len(ids),
+        )
+        if link_latency:
+            latency = latency + link_latency * arrays.hops_per_request(
+                self._placement_vec
+            )
+        return tuple(ids), latency
+
+    def rebalance(self, budget=None) -> RebalanceReport:
         """Re-solve both phases over the survivors (fresh seeded RNG).
 
         The resulting state is byte-identical to :func:`solve_joint`
         over the surviving requests in arrival order — warm-start
-        drift from admits/departs is fully reset.
+        drift from admits/departs is fully reset.  Failed nodes are
+        excluded from the re-solve's candidate set.
+
+        ``budget`` is an optional migration-cost budget (anything with
+        ``try_charge(migrations, moved_load) -> bool``, e.g.
+        :class:`repro.faults.recovery.MigrationBudget`): the solve is
+        computed as a dry run first, its cost — one migration per
+        placement move / schedule migration, moved load ``M_f D_f`` per
+        moved VNF plus the effective rate per migrated request — is
+        charged against the budget, and the whole rebalance is skipped
+        (``committed=False``, state unchanged) when it does not fit.
+        An infeasible solve (survivor demand exceeding the healthy
+        nodes) is likewise reported uncommitted rather than raised.
         """
         old_placement = dict(self._placement)
         old_schedule = dict(self._schedule)
-        self._resolve()
-        moves = sum(
-            1
-            for name, node in self._placement.items()
+        try:
+            solved = self._solve()
+        except InfeasiblePlacementError:
+            return RebalanceReport(
+                placement_moves=0,
+                schedule_migrations=0,
+                active_requests=len(self._requests),
+                committed=False,
+            )
+        placement, schedule = solved[0], solved[2]
+        moved_names = [
+            name
+            for name, node in placement.items()
             if old_placement.get(name) != node
-        )
-        migrations = sum(
-            1
-            for key, k in self._schedule.items()
+        ]
+        migrated_keys = [
+            key
+            for key, k in schedule.items()
             if key in old_schedule and old_schedule[key] != k
-        )
+        ]
+        committed = True
+        if budget is not None:
+            arrays = self._arrays
+            moved_load = sum(
+                float(arrays.total_demand_f[arrays.vnf_index[name]])
+                for name in moved_names
+            ) + sum(
+                float(self._requests[rid].effective_rate)
+                for rid, _ in migrated_keys
+            )
+            committed = budget.try_charge(
+                len(moved_names) + len(migrated_keys), moved_load
+            )
+        if committed:
+            self._commit(*solved)
         return RebalanceReport(
-            placement_moves=moves,
-            schedule_migrations=migrations,
+            placement_moves=len(moved_names),
+            schedule_migrations=len(migrated_keys),
             active_requests=len(self._requests),
+            committed=committed,
         )
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _resolve(self) -> None:
-        """Full two-phase solve over the active set; resets residuals."""
+    def _solve(self) -> tuple:
+        """Dry-run two-phase solve over the active set.
+
+        Pure: computes the batch solution without touching engine
+        state, so :meth:`rebalance` can price it against a migration
+        budget before (or instead of) committing.  Failed nodes are
+        excluded from the placement candidates; with no failures the
+        solve is the exact pre-fault code path.
+
+        Raises
+        ------
+        InfeasiblePlacementError
+            When the surviving demand does not fit the healthy nodes
+            (also raised for the degenerate all-nodes-failed case).
+        """
         from repro.topology.network import NetworkModel
 
         survivors = list(self._requests.values())
         chains = _distinct_chains(survivors)
+        capacities = self._capacities
+        if self._failed_nodes:
+            capacities = {
+                node: cap
+                for node, cap in self._capacities.items()
+                if node not in self._failed_nodes
+            }
+            if not capacities:
+                raise InfeasiblePlacementError(
+                    "every compute node is marked failed"
+                )
         problem = PlacementProblem(
-            vnfs=self._vnfs, capacities=self._capacities, chains=chains
+            vnfs=self._vnfs, capacities=capacities, chains=chains
         )
-        network = None
+        solve_network = None
         if self._topology is not None:
-            network = NetworkModel.for_problem(
+            solve_network = NetworkModel.for_problem(
                 problem,
                 self._topology,
                 requests=survivors,
                 bandwidth=self._bandwidth,
             )
         placement_result = BFDSUPlacement(
-            rng=_fresh_rng(self._seed), network=network
+            rng=_fresh_rng(self._seed), network=solve_network
         ).place(problem)
-        self._placement = dict(placement_result.placement)
-        self._placement_vec = self._arrays.placement_vector(self._placement)
-        self._schedule = schedule_all_vnfs(
-            self._vnfs, survivors, self._scheduler
-        )
-        if self._schedule:
-            sched = self._arrays.schedule_arrays(self._schedule)
-            self._inst_loads, _, _ = self._arrays.instance_rates(sched)
+        placement = dict(placement_result.placement)
+        placement_vec = self._arrays.placement_vector(placement)
+        schedule = schedule_all_vnfs(self._vnfs, survivors, self._scheduler)
+        if schedule:
+            sched = self._arrays.schedule_arrays(schedule)
+            inst_loads, _, _ = self._arrays.instance_rates(sched)
         else:
-            self._inst_loads = np.zeros(self._arrays.num_instances)
-        self._network = network
-        self._link_loads = (
-            network.link_loads(self._placement_vec)
+            inst_loads = np.zeros(self._arrays.num_instances)
+        network = solve_network
+        if solve_network is not None and self._failed_nodes:
+            # The solve ran on the reduced node set, so its node
+            # indexing differs from the engine's full-fleet arrays;
+            # rebuild the bookkeeping model over every node key so the
+            # incremental paths keep indexing ``placement_vec`` into it.
+            network = NetworkModel.build(
+                self._topology,
+                self._arrays.vnf_names,
+                self._arrays.node_keys,
+                (
+                    (list(r.chain), float(r.effective_rate))
+                    for r in survivors
+                ),
+                bandwidth=self._bandwidth,
+            )
+        link_loads = (
+            network.link_loads(placement_vec)
             if network is not None
             else None
         )
+        return (
+            placement,
+            placement_vec,
+            schedule,
+            inst_loads,
+            network,
+            link_loads,
+        )
+
+    def _commit(
+        self, placement, placement_vec, schedule, inst_loads, network, link_loads
+    ) -> None:
+        """Install one :meth:`_solve` result as the engine state."""
+        self._placement = placement
+        self._placement_vec = placement_vec
+        self._schedule = schedule
+        self._inst_loads = inst_loads
+        self._network = network
+        self._link_loads = link_loads
+
+    def _resolve(self) -> None:
+        """Full two-phase solve over the active set; resets residuals."""
+        self._commit(*self._solve())

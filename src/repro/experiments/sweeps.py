@@ -29,13 +29,17 @@ sequential-stopping ``adaptive_precision`` mode.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.analysis.stats import percentile
+from repro.exceptions import ConfigurationError
 from repro.experiments.montecarlo import run_trials
-from repro.placement.base import PlacementAlgorithm
+from repro.nfv.chain import ServiceChain
+from repro.nfv.vnf import VNF
+from repro.placement.base import PlacementAlgorithm, PlacementProblem
 from repro.placement.bfdsu import BFDSUPlacement
 from repro.placement.ffd import FFDPlacement
 from repro.placement.nah import NAHPlacement
@@ -93,6 +97,97 @@ def _placement_trial(
     return metrics
 
 
+def _pool_placement_problems(
+    scenario_list: Sequence[Tuple[object, PlacementScenario]],
+    repetitions: int,
+):
+    """Pool every (point, repetition) problem into one columnar scenario.
+
+    The parent builds each :class:`PlacementProblem` once, stacks all
+    numeric columns (``M_f``, ``D_f``, ``mu_f``, ``A_v``) into a single
+    :class:`~repro.core.arrays.ScenarioArrays` — publishable once over
+    the :mod:`repro.experiments.shm` backends — and keeps only the
+    small non-numeric fields (names, categories, chain tuples) in the
+    per-task metadata.  Pooled entity names are prefixed ``t{i}:`` for
+    uniqueness; workers never read them — the metadata carries the
+    ORIGINAL names, so reconstructed problems are exactly the built
+    ones (float columns round-trip bit-exactly through float64).
+
+    Returns ``(pooled_arrays, metas)`` with ``metas`` aligned to the
+    point-major task order of :func:`placement_sweep`.
+    """
+    from repro.core.arrays import ScenarioArrays
+
+    pooled_vnfs: List[VNF] = []
+    pooled_caps: Dict[str, float] = {}
+    metas: List[Tuple] = []
+    vnf_offset = 0
+    node_offset = 0
+    for _x, scenario in scenario_list:
+        for repetition in range(repetitions):
+            problem = scenario.build(repetition)
+            tag = f"t{len(metas)}:"
+            for f in problem.vnfs:
+                pooled_vnfs.append(replace(f, name=tag + f.name))
+            for key, cap in problem.capacities.items():
+                pooled_caps[f"{tag}{key}"] = cap
+            metas.append(
+                (
+                    vnf_offset,
+                    tuple(f.name for f in problem.vnfs),
+                    tuple(f.category for f in problem.vnfs),
+                    node_offset,
+                    tuple(problem.capacities.keys()),
+                    tuple(chain.vnf_names for chain in problem.chains),
+                )
+            )
+            vnf_offset += len(problem.vnfs)
+            node_offset += len(problem.capacities)
+    return ScenarioArrays.build(pooled_vnfs, (), pooled_caps), metas
+
+
+def _placement_trial_shared(task, arrays) -> Dict[str, Tuple[float, ...]]:
+    """Shared-scenario twin of :func:`_placement_trial`.
+
+    ``task`` is ``(point_index, repetition, seed, meta)`` and
+    ``arrays`` the pooled columns attached zero-copy in the worker; the
+    trial reconstructs its exact problem instance from the column
+    slices plus the metadata names and then runs the identical
+    contender loop — results are byte-identical to the unshared path.
+    """
+    point_index, repetition, seed, meta = task
+    vnf_off, vnf_names, categories, node_off, node_keys, chain_specs = meta
+    vnfs = [
+        VNF(
+            name=name,
+            demand_per_instance=float(arrays.D_f[vnf_off + j]),
+            num_instances=int(arrays.M_f[vnf_off + j]),
+            service_rate=float(arrays.mu_f[vnf_off + j]),
+            category=categories[j],
+        )
+        for j, name in enumerate(vnf_names)
+    ]
+    capacities = {
+        key: float(arrays.A_v[node_off + j])
+        for j, key in enumerate(node_keys)
+    }
+    chains = [ServiceChain(names) for names in chain_specs]
+    problem = PlacementProblem(
+        vnfs=vnfs, capacities=capacities, chains=chains
+    )
+    rng = trial_rng(seed, point_index, repetition)
+    metrics: Dict[str, Tuple[float, ...]] = {}
+    for algorithm in default_placement_algorithms(rng):
+        result = algorithm.place(problem)
+        metrics[algorithm.name] = (
+            float(result.average_utilization),
+            float(result.num_used_nodes),
+            float(result.total_occupied_capacity),
+            float(result.iterations),
+        )
+    return metrics
+
+
 def _scheduling_trial(
     task: Tuple[int, SchedulingScenario, bool]
 ) -> Dict[str, Tuple[float, float]]:
@@ -117,6 +212,7 @@ def placement_sweep(
     seed: int = 0,
     algorithms: Optional[Sequence[PlacementAlgorithm]] = None,
     jobs: int = 1,
+    shared: bool = False,
 ) -> List[Dict[str, object]]:
     """Run placement algorithms over scenario sweep points.
 
@@ -135,6 +231,12 @@ def placement_sweep(
     jobs:
         Worker processes for the default path; results are identical at
         every level.
+    shared:
+        Build every problem instance once in the parent and ship the
+        pooled numeric columns to workers through
+        ``run_trials(shared=...)`` (one shared-memory publish instead
+        of per-task pickling).  Results are byte-identical to the
+        default path; requires the default algorithm set.
 
     Returns
     -------
@@ -151,7 +253,29 @@ def placement_sweep(
     ]
     if algorithms is None:
         algo_names = [a.name for a in default_placement_algorithms(0)]
-        trials = run_trials(_placement_trial, tasks, jobs=jobs)
+        if shared:
+            pooled, metas = _pool_placement_problems(
+                scenario_list, repetitions
+            )
+            shared_tasks = [
+                (point, repetition, task_seed, meta)
+                for (point, repetition, _scn, task_seed), meta in zip(
+                    tasks, metas
+                )
+            ]
+            trials = run_trials(
+                _placement_trial_shared,
+                shared_tasks,
+                jobs=jobs,
+                shared=pooled,
+            )
+        else:
+            trials = run_trials(_placement_trial, tasks, jobs=jobs)
+    elif shared:
+        raise ConfigurationError(
+            "shared=True requires the default per-trial algorithms "
+            "(explicit `algorithms` run on the legacy serial path)"
+        )
     else:
         shared = list(algorithms)
         algo_names = [a.name for a in shared]

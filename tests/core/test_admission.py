@@ -1,9 +1,11 @@
 """Unit tests for admission control."""
 
+import numpy as np
 import pytest
 
-from repro.core.admission import apply_admission_control
-from repro.exceptions import ValidationError
+from repro.core.admission import apply_admission_control, power_of_two_admit
+from repro.core.incremental import DeploymentEngine
+from repro.exceptions import SchedulingError, ValidationError
 from repro.nfv.chain import ServiceChain
 from repro.nfv.instance import ServiceInstance
 from repro.nfv.request import Request
@@ -90,3 +92,98 @@ class TestValidation:
             apply_admission_control([], target_utilization=1.0)
         with pytest.raises(ValidationError):
             apply_admission_control([], target_utilization=0.0)
+
+
+class _PickRng:
+    """Deterministic probe stand-in: returns queued index pairs."""
+
+    def __init__(self, *pairs):
+        self._pairs = list(pairs)
+
+    def integers(self, low, high, size):
+        return np.asarray(self._pairs.pop(0))
+
+
+class TestPowerOfTwoAdmit:
+    def test_lower_load_wins(self):
+        loads = np.array([5.0, 1.0, 3.0])
+        assert power_of_two_admit(loads, 1.0, _PickRng((0, 1))) == 1
+        assert power_of_two_admit(loads, 1.0, _PickRng((2, 0))) == 2
+
+    def test_tie_resolves_to_lower_index(self):
+        loads = np.array([2.0, 2.0])
+        assert power_of_two_admit(loads, 1.0, _PickRng((1, 0))) == 0
+
+    def test_same_probe_twice_is_fine(self):
+        loads = np.array([4.0, 9.0])
+        assert power_of_two_admit(loads, 1.0, _PickRng((1, 1))) == 1
+
+    def test_capacity_gate(self):
+        loads = np.array([10.0, 20.0])
+        picks = _PickRng((0, 1))
+        assert power_of_two_admit(loads, 5.0, picks, capacity=14.0) == -1
+        # Exactly at capacity passes (the fit_eps slack).
+        picks = _PickRng((0, 1))
+        assert power_of_two_admit(loads, 5.0, picks, capacity=15.0) == 0
+
+    def test_masked_winner_rejected(self):
+        loads = np.array([np.inf, np.inf])
+        assert power_of_two_admit(loads, 1.0, _PickRng((0, 1))) == -1
+
+    def test_empty_loads_rejected_without_probes(self):
+        assert power_of_two_admit(np.zeros(0), 1.0, _PickRng()) == -1
+
+    def test_two_probes_consumed_even_on_rejection(self):
+        """The stream position is a pure function of the admit count."""
+        loads = np.array([10.0, 10.0])
+        rng = np.random.default_rng(5)
+        assert (
+            power_of_two_admit(loads, 5.0, rng, capacity=1.0) == -1
+        )
+        after_reject = power_of_two_admit(loads, 5.0, rng)
+        replay = np.random.default_rng(5)
+        replay.integers(0, 2, size=2)  # the rejected call's probes
+        expected = power_of_two_admit(loads, 5.0, replay)
+        assert after_reject == expected
+
+
+class TestEnginePowerOfTwo:
+    def _vnfs(self):
+        return [VNF("fw", 1.0, 4, 100.0), VNF("lb", 1.0, 4, 100.0)]
+
+    def _caps(self):
+        return {"n0": 40.0, "n1": 40.0}
+
+    def test_policy_is_selectable_and_deterministic(self):
+        outcomes = []
+        for _ in range(2):
+            engine = DeploymentEngine(
+                self._vnfs(),
+                self._caps(),
+                admission="power-of-two",
+                admission_rng=np.random.default_rng(42),
+            )
+            assert engine.admission == "power-of-two"
+            outcomes.append(
+                tuple(
+                    tuple(
+                        sorted(
+                            engine.admit(
+                                Request(f"r{i}", CHAIN, 5.0)
+                            ).assignment.items()
+                        )
+                    )
+                    for i in range(12)
+                )
+            )
+        assert outcomes[0] == outcomes[1]
+
+    def test_default_policy_unchanged(self):
+        engine = DeploymentEngine(self._vnfs(), self._caps())
+        assert engine.admission == "least-loaded"
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(SchedulingError, match="unknown admission"):
+            DeploymentEngine(
+                self._vnfs(), self._caps(), admission="random"
+            )

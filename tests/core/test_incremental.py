@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.incremental import (
     AdmitReport,
@@ -273,3 +275,231 @@ class TestResidualBookkeeping:
         assert set(state.schedule) == {
             ("q0", "fw"), ("q1", "fw"), ("q1", "lb"),
         }
+
+
+class TestFaultOps:
+    """Crash/repair primitives added in PR 9 (docs/RESILIENCE.md)."""
+
+    def test_fail_node_evicts_and_gates_admission(
+        self, small_vnfs, small_caps
+    ):
+        engine = DeploymentEngine(small_vnfs, small_caps)
+        engine.admit(_request(0, ["fw", "lb"], 10.0))
+        engine.admit(_request(1, ["lb"], 3.0))
+        victim = engine.placement["fw"]
+        evicted = engine.fail_node(victim)
+        assert engine.failed_nodes == frozenset({victim})
+        assert [r.request_id for r in evicted] == [
+            rid
+            for rid in ("q0", "q1")
+            if any(
+                engine.placement[name] == victim
+                for name in (["fw", "lb"] if rid == "q0" else ["lb"])
+            )
+        ]
+        assert "q0" not in engine.active_requests
+        # Chains touching the dead node are now unavailable.
+        report = engine.admit(_request(9, ["fw"], 1.0))
+        assert not report.admitted
+        assert report.reason == "unavailable"
+        # Repair re-opens admission (placement is untouched).
+        engine.recover_node(victim)
+        assert engine.failed_nodes == frozenset()
+        assert engine.admit(_request(9, ["fw"], 1.0)).admitted
+
+    def test_fail_node_twice_is_noop(self, small_vnfs, small_caps):
+        engine = DeploymentEngine(small_vnfs, small_caps)
+        engine.admit(_request(0, ["fw"], 1.0))
+        victim = engine.placement["fw"]
+        assert engine.fail_node(victim)
+        assert engine.fail_node(victim) == []
+
+    def test_fail_unknown_node_raises(self, small_vnfs, small_caps):
+        engine = DeploymentEngine(small_vnfs, small_caps)
+        with pytest.raises(SchedulingError, match="unknown node"):
+            engine.fail_node("ghost")
+        with pytest.raises(SchedulingError, match="unknown node"):
+            engine.recover_node("ghost")
+
+    def test_fail_instance_masks_and_recovers(
+        self, small_vnfs, small_caps
+    ):
+        engine = DeploymentEngine(small_vnfs, small_caps)
+        first = engine.admit(_request(0, ["fw"], 10.0))
+        k = first.assignment["fw"]
+        evicted = engine.fail_instance("fw", k)
+        assert [r.request_id for r in evicted] == ["q0"]
+        assert engine.down_instances().sum() == 1
+        # The surviving instance still admits.
+        report = engine.admit(_request(1, ["fw"], 5.0))
+        assert report.admitted
+        assert report.assignment["fw"] == 1 - k
+        # All instances down => unavailable.
+        second = engine.fail_instance("fw", 1 - k)
+        assert [r.request_id for r in second] == ["q1"]
+        rejected = engine.admit(_request(2, ["fw"], 1.0))
+        assert not rejected.admitted
+        assert rejected.reason == "unavailable"
+        engine.recover_instance("fw", k)
+        assert engine.admit(_request(2, ["fw"], 1.0)).admitted
+        assert engine.down_instances().sum() == 1
+
+    def test_fail_instance_validates_arguments(
+        self, small_vnfs, small_caps
+    ):
+        engine = DeploymentEngine(small_vnfs, small_caps)
+        with pytest.raises(SchedulingError, match="unknown VNF"):
+            engine.fail_instance("ghost", 0)
+        with pytest.raises(SchedulingError, match="no instance"):
+            engine.fail_instance("fw", 7)
+        with pytest.raises(SchedulingError, match="no instance"):
+            engine.recover_instance("fw", -1)
+
+    def test_evict_unknown_id_raises(self, small_vnfs, small_caps):
+        engine = DeploymentEngine(small_vnfs, small_caps)
+        engine.admit(_request(0, ["fw"], 1.0))
+        with pytest.raises(SchedulingError, match="unknown requests"):
+            engine.evict(["q0", "ghost"])
+        # The failed call was all-or-nothing.
+        assert engine.active_requests == ("q0",)
+
+    def test_move_vnf(self, small_vnfs, small_caps):
+        engine = DeploymentEngine(
+            small_vnfs, small_caps, target_utilization=None
+        )
+        engine.admit(_request(0, ["fw", "lb"], 10.0))
+        source = engine.placement["fw"]
+        other = next(n for n in small_caps if n != source)
+        # Moving onto the current node is a trivial success.
+        assert engine.move_vnf("fw", source)
+        assert engine.placement["fw"] == source
+        # A failed target refuses the move.
+        engine.fail_node(other)
+        assert not engine.move_vnf("fw", other)
+        engine.recover_node(other)
+        assert engine.move_vnf("fw", other)
+        assert engine.placement["fw"] == other
+        with pytest.raises(SchedulingError, match="unknown VNF"):
+            engine.move_vnf("ghost", source)
+        with pytest.raises(SchedulingError, match="unknown node"):
+            engine.move_vnf("fw", "ghost")
+
+    def test_move_vnf_checks_capacity(self, small_vnfs):
+        # n1 cannot hold both VNFs (20 + 16 > 21).
+        caps = {"n0": 40.0, "n1": 21.0}
+        engine = DeploymentEngine(
+            small_vnfs, caps, target_utilization=None
+        )
+        heavy, light = "fw", "lb"
+        if engine.placement[heavy] != "n0":
+            engine.move_vnf(heavy, "n0")
+        engine.move_vnf(light, "n1")
+        assert not engine.move_vnf(heavy, "n1")
+        assert engine.placement[heavy] == "n0"
+
+    def test_request_response_times(self, small_vnfs, small_caps):
+        engine = DeploymentEngine(
+            small_vnfs, small_caps, target_utilization=None
+        )
+        ids, latencies = engine.request_response_times()
+        assert ids == ()
+        engine.admit(_request(0, ["fw", "lb"], 10.0))
+        ids, latencies = engine.request_response_times()
+        assert ids == ("q0",)
+        # One request on empty instances: 1/(mu - rate) per chain VNF.
+        assert latencies[0] == pytest.approx(2.0 / 90.0)
+
+    def test_saturated_instance_reports_inf(self, small_vnfs, small_caps):
+        engine = DeploymentEngine(
+            small_vnfs, small_caps, target_utilization=None
+        )
+        engine.admit(_request(0, ["fw"], 150.0))
+        _, latencies = engine.request_response_times()
+        assert np.isinf(latencies[0])
+
+
+def _parity_workload():
+    gen = WorkloadGenerator(np.random.default_rng(20170809))
+    return gen.workload(num_vnfs=8, num_nodes=10, num_requests=24)
+
+
+class TestMassDepartParity:
+    """evict(subset) == the engine that never saw the victims.
+
+    The docstring contract of :meth:`DeploymentEngine.evict`: because
+    each eviction is the exact admit inverse, evicting ANY subset and
+    re-solving leaves the engine bit-identical (placement + schedule)
+    to one rebuilt from the survivors; the pre-rebalance residuals
+    match a from-scratch recompute of the surviving schedule.
+    """
+
+    @given(data=st.data())
+    @settings(max_examples=12, deadline=None)
+    def test_evict_subset_matches_rebuilt_engine(self, data):
+        w = _parity_workload()
+        engine = DeploymentEngine(
+            w.vnfs, w.capacities, list(w.requests), seed=7,
+            target_utilization=None,
+        )
+        ids = list(engine.active_requests)
+        victims = data.draw(
+            st.sets(st.sampled_from(ids), max_size=len(ids))
+        )
+        evicted = engine.evict(victims)
+        # Returned in arrival order, exactly the requested set.
+        assert [r.request_id for r in evicted] == [
+            rid for rid in ids if rid in victims
+        ]
+        # Residual bookkeeping equals a from-scratch recompute over
+        # the surviving schedule.
+        state = engine.state()
+        recomputed, _, _ = state.arrays().instance_rates(
+            state.schedule_arrays()
+        )
+        np.testing.assert_allclose(
+            engine.instance_loads(), recomputed, rtol=0, atol=1e-9
+        )
+        # After a re-solve the engine is indistinguishable from one
+        # that never saw the evicted requests.
+        engine.rebalance()
+        survivors = [
+            r for r in w.requests if r.request_id not in victims
+        ]
+        rebuilt = DeploymentEngine(
+            w.vnfs, w.capacities, survivors, seed=7,
+            target_utilization=None,
+        )
+        assert engine.placement == rebuilt.placement
+        assert engine.state().schedule == rebuilt.state().schedule
+        np.testing.assert_array_equal(
+            engine.instance_loads(), rebuilt.instance_loads()
+        )
+
+    @given(data=st.data())
+    @settings(max_examples=6, deadline=None)
+    def test_evict_matches_sequential_departs(self, data):
+        w = _parity_workload()
+        mass = DeploymentEngine(
+            w.vnfs, w.capacities, list(w.requests),
+            target_utilization=None,
+        )
+        serial = DeploymentEngine(
+            w.vnfs, w.capacities, list(w.requests),
+            target_utilization=None,
+        )
+        ids = list(mass.active_requests)
+        victims = data.draw(
+            st.sets(st.sampled_from(ids), min_size=1, max_size=len(ids))
+        )
+        mass.evict(victims)
+        # Same arrival-order retraction sequence as evict's internals —
+        # float subtraction is order-sensitive, the semantics are not.
+        for rid in (i for i in ids if i in victims):
+            serial.depart(rid)
+        assert mass.active_requests == serial.active_requests
+        np.testing.assert_array_equal(
+            mass.instance_loads(), serial.instance_loads()
+        )
+        assert dict(mass.state().schedule) == dict(
+            serial.state().schedule
+        )

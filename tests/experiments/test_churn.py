@@ -63,3 +63,43 @@ class TestAcceptance:
         probe = churn.probe_speedup()
         assert probe["speedup"] >= 50.0
         assert probe["resolve_ms"] > probe["admit_ms"]
+
+
+class TestAdmissionPolicySelection:
+    def test_unknown_policy_rejected(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="admission"):
+            churn.run(repetitions=1, admission="random")
+
+    def test_power_of_two_runs_and_notes(self, monkeypatch):
+        monkeypatch.setattr(churn, "DURATION", 600.0)
+        monkeypatch.setattr(churn, "MEAN_HOLDING", 120.0)
+        monkeypatch.setattr(churn, "REBALANCE_EVERY", 5)
+        result = churn.run(repetitions=1, admission="power-of-two")
+        variants = [row["variant"] for row in result.rows]
+        assert variants == ["incremental", "full-resolve", "probe_2k"]
+        assert any("power-of-two" in note for note in result.notes)
+
+    def test_default_run_carries_no_policy_note(self, churn_result):
+        assert not any(
+            "power-of-two" in note for note in churn_result.notes
+        )
+
+    def test_power_of_two_deterministic_across_jobs(self, monkeypatch):
+        monkeypatch.setattr(churn, "DURATION", 600.0)
+        monkeypatch.setattr(churn, "MEAN_HOLDING", 120.0)
+        monkeypatch.setattr(churn, "REBALANCE_EVERY", 5)
+        serial = churn.run(
+            repetitions=2, admission="power-of-two", jobs=1
+        )
+        parallel = churn.run(
+            repetitions=2, admission="power-of-two", jobs=2
+        )
+        strip = (
+            "migrations",
+            "rejection_rate",
+        )  # wall-clock columns excluded
+        for a, b in zip(serial.rows, parallel.rows):
+            for column in strip:
+                assert a[column] == b[column]

@@ -1,0 +1,71 @@
+"""Smoke + acceptance tests for the resilience experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import resilience
+from repro.experiments.registry import get
+
+
+@pytest.fixture(scope="module")
+def result():
+    return resilience.run(repetitions=1)
+
+
+class TestRegistration:
+    def test_registered_under_its_module_name(self):
+        spec = get("resilience")
+        assert spec.runner is resilience.run
+        assert "faults" in spec.tags
+        assert spec.order == 24
+
+
+class TestShape:
+    def test_rows_cover_the_policy_x_mtbf_grid(self, result):
+        combos = {(row["mtbf_s"], row["policy"]) for row in result.rows}
+        assert combos == {
+            (mtbf, name)
+            for mtbf in resilience.MTBF_VALUES
+            for name, _factory in resilience.POLICIES
+        }
+        for row in result.rows:
+            assert 0.0 <= row["availability"] <= 1.0
+            assert row["violation_minutes"] >= 0.0
+            assert row["evictions"] >= 0.0
+        assert len(result.notes) == 3
+
+    def test_crashes_actually_happen(self, result):
+        assert any(row["evictions"] > 0 for row in result.rows)
+
+    def test_deferred_trades_availability_for_migrations(self, result):
+        by = {
+            (row["mtbf_s"], row["policy"]): row for row in result.rows
+        }
+        for mtbf in resilience.MTBF_VALUES:
+            deferred = by[(mtbf, "deferred")]
+            immediate = by[(mtbf, "least-loaded")]
+            assert (
+                deferred["availability"] <= immediate["availability"]
+            )
+
+    def test_deterministic_across_jobs(self):
+        serial = resilience.run(repetitions=2, jobs=1)
+        parallel = resilience.run(repetitions=2, jobs=3)
+        assert serial.rows == parallel.rows
+
+
+class TestRepairProbe:
+    """ISSUE acceptance: incremental recovery reaches the same
+    post-recovery admission set as a full re-solve while moving
+    strictly fewer chains under a finite budget."""
+
+    def test_acceptance_bar(self):
+        probe = resilience.repair_probe()
+        assert probe["evicted"] > 0
+        assert probe["same_admission_set"] is True
+        assert probe["pending_incremental"] == 0
+        assert probe["moved_incremental"] < probe["moved_full"]
+
+    def test_deterministic(self):
+        assert resilience.repair_probe() == resilience.repair_probe()

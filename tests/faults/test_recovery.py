@@ -1,0 +1,177 @@
+"""Unit tests for recovery policies and the migration budget."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.incremental import DeploymentEngine
+from repro.faults.recovery import (
+    DeferredRecovery,
+    LeastLoadedReadmit,
+    MigrationBudget,
+    RecoveryOutcome,
+    WarmStartRelocate,
+)
+from repro.workload.generator import WorkloadGenerator
+
+
+class TestMigrationBudget:
+    def test_caps_enforced_independently(self):
+        budget = MigrationBudget(max_migrations=2, max_moved_load=10.0)
+        assert budget.can_charge(1, 5.0)
+        assert budget.try_charge(1, 5.0)
+        # Count cap: 1 + 2 > 2.
+        assert not budget.try_charge(2, 1.0)
+        # Load cap: 5 + 6 > 10.
+        assert not budget.try_charge(1, 6.0)
+        # Failed charges are all-or-nothing: nothing was booked.
+        assert budget.spent_migrations == 1
+        assert budget.spent_load == 5.0
+        assert budget.try_charge(1, 5.0)
+        assert budget.spent_migrations == 2
+        assert budget.spent_load == 10.0
+        assert not budget.can_charge(1, 0.0)
+
+    def test_reset_opens_fresh_episode(self):
+        budget = MigrationBudget(max_migrations=1)
+        assert budget.try_charge(1, 3.0)
+        assert not budget.can_charge(1, 0.0)
+        budget.reset()
+        assert budget.spent_migrations == 0
+        assert budget.spent_load == 0.0
+        assert budget.try_charge(1, 3.0)
+
+    def test_unbounded_by_default(self):
+        budget = MigrationBudget()
+        assert budget.try_charge(10_000, 1e12)
+        assert budget.can_charge(10_000, 1e12)
+
+
+def _crashed_engine(seed=20170605, actives=60):
+    """An engine that just lost its lightest genuinely-hosting node."""
+    gen = WorkloadGenerator(np.random.default_rng(seed))
+    w = gen.workload(num_vnfs=12, num_nodes=24, num_requests=actives)
+    engine = DeploymentEngine(
+        w.vnfs, w.capacities, list(w.requests), target_utilization=None
+    )
+    hosted = {}
+    for node in engine.placement.values():
+        hosted[node] = hosted.get(node, 0) + 1
+    for victim in sorted(hosted, key=lambda n: (hosted[n], str(n))):
+        evicted = engine.fail_node(victim)
+        if evicted:
+            return engine, victim, evicted
+        engine.recover_node(victim)
+    raise AssertionError("no crash evicted anything")
+
+
+@pytest.mark.parametrize(
+    "policy_cls", [LeastLoadedReadmit, WarmStartRelocate]
+)
+class TestImmediatePolicies:
+    def test_repairs_placement_and_readmits(self, policy_cls):
+        engine, victim, evicted = _crashed_engine()
+        stranded = [
+            name for name, node in engine.placement.items()
+            if node == victim
+        ]
+        assert stranded, "the victim should strand at least one VNF"
+        outcome = policy_cls().recover(engine, evicted)
+        # Every stranded VNF left the failed node.
+        assert all(
+            engine.placement[name] != victim for name in stranded
+        )
+        assert outcome.vnf_moves == len(stranded)
+        # Capacity-only admission over healthy nodes: everything fits.
+        assert outcome.pending == []
+        assert outcome.readmitted == [
+            request.request_id for request in evicted
+        ]
+        assert outcome.moved_load > 0.0
+        assert engine.num_active == 60
+
+    def test_deterministic(self, policy_cls):
+        a_engine, _, a_evicted = _crashed_engine()
+        b_engine, _, b_evicted = _crashed_engine()
+        a = policy_cls().recover(a_engine, a_evicted)
+        b = policy_cls().recover(b_engine, b_evicted)
+        assert a == b
+        assert a_engine.placement == b_engine.placement
+        assert dict(a_engine.state().schedule) == dict(
+            b_engine.state().schedule
+        )
+
+    def test_zero_budget_leaves_everything_pending(self, policy_cls):
+        engine, victim, evicted = _crashed_engine()
+        active_before = engine.active_requests
+        placement_before = dict(engine.placement)
+        budget = MigrationBudget(max_migrations=0)
+        outcome = policy_cls().recover(engine, evicted, budget=budget)
+        assert outcome.readmitted == []
+        assert outcome.vnf_moves == 0
+        assert outcome.moved_load == 0.0
+        assert outcome.pending == [
+            request.request_id for request in evicted
+        ]
+        assert engine.active_requests == active_before
+        assert dict(engine.placement) == placement_before
+        assert budget.spent_migrations == 0
+
+    def test_partial_budget_charges_what_fits(self, policy_cls):
+        engine, _victim, evicted = _crashed_engine()
+        # Room for the relocations plus exactly two re-admissions.
+        stranded = sum(
+            1 for node in engine.placement.values()
+            if node in engine.failed_nodes
+        )
+        budget = MigrationBudget(max_migrations=stranded + 2)
+        outcome = policy_cls().recover(engine, evicted, budget=budget)
+        assert len(outcome.readmitted) == 2
+        assert outcome.readmitted == [
+            request.request_id for request in evicted[:2]
+        ]
+        assert len(outcome.pending) == len(evicted) - 2
+        assert budget.spent_migrations == stranded + 2
+
+
+class TestLeastLoadedTarget:
+    def test_target_is_emptiest_feasible_healthy_node(self):
+        engine, victim, evicted = _crashed_engine()
+        arrays = engine.arrays
+        stranded = sorted(
+            (
+                name for name, node in engine.placement.items()
+                if node == victim
+            ),
+            key=arrays.vnf_index.get,
+        )
+        # Expected target of the FIRST relocation, computed from the
+        # pre-recovery residuals.
+        loads = arrays.node_loads(engine.placement_vector())
+        residual = arrays.A_v - loads
+        fi = arrays.vnf_index[stranded[0]]
+        demand = float(arrays.total_demand_f[fi])
+        healthy = np.array(
+            [
+                node not in engine.failed_nodes
+                for node in arrays.node_keys
+            ]
+        )
+        feasible = healthy & (residual >= demand)
+        expected = arrays.node_keys[
+            int(np.argmax(np.where(feasible, residual, -np.inf)))
+        ]
+        LeastLoadedReadmit().recover(engine, evicted)
+        assert engine.placement[stranded[0]] == expected
+
+
+class TestDeferredRecovery:
+    def test_everything_stays_pending(self):
+        engine, _victim, evicted = _crashed_engine()
+        placement_before = dict(engine.placement)
+        outcome = DeferredRecovery().recover(engine, evicted)
+        assert outcome == RecoveryOutcome(
+            pending=[request.request_id for request in evicted]
+        )
+        assert dict(engine.placement) == placement_before
