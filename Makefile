@@ -27,7 +27,7 @@ bench-serve:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_serve.py --out benchmarks/bench_serve.json
 
 bench-scale:
-	PYTHONPATH=src $(PYTHON) benchmarks/bench_scale.py --out benchmarks/bench_scale.json
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_scale.py --jobs 0 --out benchmarks/bench_scale.json
 
 bench-faults:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_faults.py --out benchmarks/bench_faults.json
@@ -55,7 +55,7 @@ ci: lint
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_sim.py --quick --out benchmarks/bench_sim.json
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_topo.py --quick --out benchmarks/bench_topo.json
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_serve.py --quick --min-speedup 50 --out benchmarks/bench_serve.json
-	PYTHONPATH=src $(PYTHON) benchmarks/bench_scale.py --quick --sim-packets 1e6 --max-seconds 300 --max-rss-mb 6144 --out benchmarks/bench_scale.json
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_scale.py --quick --jobs 2 --sim-packets 1e6 --max-seconds 300 --max-rss-mb 6144 --out benchmarks/bench_scale.json
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_faults.py --quick --max-p99-ms 2000 --out benchmarks/bench_faults.json
 
 examples:

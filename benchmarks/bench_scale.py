@@ -11,17 +11,24 @@ scenario is ever built:
    (``draw_block``), on the VNF/node tables only.
 3. ``schedule``   — :func:`repro.scheduling.kernels.schedule_columns`
    (exact least-loaded heap semantics per VNF).
-4. ``evaluate``   — :func:`repro.core.evaluation.evaluate_columns`
+4. ``refine``     — :func:`repro.core.local_search.refine_placement_columns`
+   and :func:`repro.scheduling.swap_refine.swap_refine_columns`, the
+   lean-column local-search passes (``--refine-rounds 0`` skips).
+5. ``evaluate``   — :func:`repro.core.evaluation.evaluate_columns`
    (state-free Eq. 14/16/17 scoring).
-5. ``simulate``   — :func:`repro.sim.scale.simulate_columns` over a
-   horizon sized to ``--sim-packets`` generated packets.
+6. ``simulate``   — :func:`repro.sim.scale.simulate_columns` over a
+   horizon sized to ``--sim-packets`` generated packets, sharded over
+   ``--jobs`` worker processes.
 
-The report is wall-clock per stage plus two headline numbers: pipeline
+The report is wall-clock per stage plus headline numbers: pipeline
 ``requests_per_sec`` (requests / total seconds, construction through
-simulation) and ``peak_rss_mb`` (``ru_maxrss`` of this process — the
-bounded-memory claim).  A small-scale parity check runs first and
-fails the benchmark if the scale path ever drifts from the object
-path.
+simulation) and ``peak_rss_mb`` (``ru_maxrss`` of this process merged
+with its reaped children — the bounded-memory claim covers the shard
+workers too).  With ``--jobs N > 1`` the simulation also re-runs at
+``jobs=1`` as a parity gate (the merged metrics must be byte-identical
+at any worker count) and the report gains a ``sim_speedup`` headline.
+A small-scale parity check runs first and fails the benchmark if the
+scale path ever drifts from the object path.
 
 Usage::
 
@@ -51,9 +58,11 @@ import numpy as np
 from bench_core import DEFAULT_SEED
 from repro.core.dtypes import LEAN_POLICY
 from repro.core.evaluation import evaluate_columns
+from repro.core.local_search import refine_placement_columns
 from repro.placement.base import PlacementProblem
 from repro.placement.bfdsu import BFDSUPlacement
 from repro.scheduling.kernels import schedule_columns
+from repro.scheduling.swap_refine import swap_refine_columns
 from repro.sim.scale import simulate_columns
 from repro.sim.simulator import SimulationConfig
 from repro.workload.stream import rescale_to_stability, stream_scenario
@@ -66,8 +75,18 @@ STABILITY = 0.7
 
 
 def peak_rss_mb() -> float:
-    """Peak resident set of this process, in MiB (Linux: ru_maxrss KB)."""
-    rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    """Peak resident set of this process *and* its children, in MiB.
+
+    ``RUSAGE_CHILDREN`` reports the largest ``ru_maxrss`` over reaped
+    child processes (the shard workers of ``--jobs N``); summing it
+    with our own peak bounds the aggregate footprint the
+    ``--max-rss-mb`` budget is meant to police — self alone would let
+    worker bloat pass unnoticed.  Linux reports KiB; macOS bytes.
+    """
+    rss_kb = (
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        + resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    )
     if sys.platform == "darwin":  # pragma: no cover - ru_maxrss in bytes
         return rss_kb / (1024.0 * 1024.0)
     return rss_kb / 1024.0
@@ -151,6 +170,17 @@ def main(argv=None):
         "packets (default 5e6)",
     )
     parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="shard the trace simulation over this many worker "
+        "processes (0: auto, default 1: in-process); results are "
+        "byte-identical at any value and gated by a jobs=1 re-run",
+    )
+    parser.add_argument(
+        "--refine-rounds", type=int, default=2,
+        help="local-search rounds for the lean-column refine stage "
+        "(default 2; 0 skips the stage)",
+    )
+    parser.add_argument(
         "--max-seconds", type=float, default=0.0,
         help="exit non-zero if the pipeline exceeds this wall-clock "
         "budget (default 0: report only)",
@@ -215,11 +245,25 @@ def main(argv=None):
     sched = _stage(
         "schedule", lambda: schedule_columns(arrays, policy="least_loaded")
     )
+
+    placement_vec = arrays.placement_vector(placement.placement)
+    refine_moves = swap_moves = 0
+    if args.refine_rounds > 0:
+        def _refine():
+            nonlocal sched, refine_moves, swap_moves
+            report = refine_placement_columns(
+                arrays, placement_vec, max_rounds=args.refine_rounds
+            )
+            refine_moves = report.moves_applied
+            sched, swap_moves = swap_refine_columns(
+                arrays, sched, max_rounds=args.refine_rounds
+            )
+            return report
+        _stage("refine", _refine)
+
     report_eval = _stage(
         "evaluate",
-        lambda: evaluate_columns(
-            arrays, arrays.placement_vector(placement.placement), sched
-        ),
+        lambda: evaluate_columns(arrays, placement_vec, sched),
     )
 
     total_rate = float(np.asarray(arrays.lambda_r, dtype=np.float64).sum())
@@ -228,15 +272,51 @@ def main(argv=None):
         duration=horizon, warmup=0.1 * horizon, seed=args.seed
     )
     metrics = _stage(
-        "simulate", lambda: simulate_columns(arrays, sched, cfg)
+        "simulate",
+        lambda: simulate_columns(arrays, sched, cfg, jobs=args.jobs),
     )
 
-    total_s = sum(stages.values())
+    sim_speedup = None
+    if args.jobs is not None and args.jobs != 1:
+        # Parity gate + speedup headline: the sharded run must merge to
+        # the byte-identical metrics of the in-process run.
+        serial = _stage(
+            "simulate1",
+            lambda: simulate_columns(arrays, sched, cfg, jobs=1),
+        )
+        for field in (
+            "generated", "delivered", "retransmitted", "latency_sum",
+            "instance_arrivals", "instance_departures",
+            "instance_mean_sojourn", "instance_utilization",
+        ):
+            a, b = getattr(metrics, field), getattr(serial, field)
+            same = (
+                a == b if np.isscalar(a) or a is None
+                else np.array_equal(np.asarray(a), np.asarray(b))
+            )
+            if not same:
+                raise AssertionError(
+                    f"sharded simulate (jobs={args.jobs}) diverged from "
+                    f"jobs=1 on {field}"
+                )
+        sim_speedup = stages["simulate1"] / max(stages["simulate"], 1e-9)
+        print(
+            f"sim parity ok: jobs={args.jobs} byte-identical to jobs=1 "
+            f"({sim_speedup:.2f}x speedup)",
+            file=sys.stderr,
+        )
+
+    # The jobs=1 parity re-run is a gate, not pipeline work: exclude it
+    # from the throughput denominator.
+    total_s = sum(v for k, v in stages.items() if k != "simulate1")
     rss_mb = peak_rss_mb()
     headline = {
         "requests_per_sec": num_requests / total_s,
         "peak_rss_mb": rss_mb,
     }
+    if sim_speedup is not None:
+        headline["sim_speedup"] = sim_speedup
+        headline["sim_jobs"] = args.jobs
     report = {
         "scenario": {
             "num_requests": num_requests,
@@ -246,6 +326,8 @@ def main(argv=None):
             "quick": args.quick,
             "stability_target": STABILITY,
             "sim_horizon_s": horizon,
+            "sim_jobs": args.jobs,
+            "refine_rounds": args.refine_rounds,
         },
         "stages_s": stages,
         "total_s": total_s,
@@ -254,6 +336,8 @@ def main(argv=None):
         "pipeline": {
             "used_nodes": placement.num_used_nodes,
             "bfdsu_draws": placement.iterations,
+            "refine_relocations": refine_moves,
+            "refine_swap_moves": swap_moves,
             "max_instance_utilization": report_eval.max_instance_utilization,
             "avg_node_utilization": report_eval.average_node_utilization,
             "sim_generated": int(metrics.generated),

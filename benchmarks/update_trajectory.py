@@ -46,6 +46,8 @@ def distill(report: dict) -> dict:
         in (
             "requests_per_sec",
             "peak_rss_mb",
+            "sim_speedup",
+            "sim_jobs",
             "recovery_p99_ms",
             "evictions_per_sec",
         )

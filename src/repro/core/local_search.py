@@ -49,12 +49,14 @@ from typing import Hashable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.arrays import ScenarioArrays
 from repro.core.deltas import (
     FIT_EPS,
     best_bandwidth_feasible,
     relocate_scores,
     try_swap_bandwidth,
 )
+from repro.core.dtypes import ensure_index_capacity
 from repro.exceptions import ValidationError
 from repro.nfv.state import DeploymentState
 
@@ -161,21 +163,50 @@ def refine_placement(
     return _refine_scalar(state, max_rounds, trace)
 
 
-def _refine_delta(
-    state: DeploymentState,
+def refine_placement_columns(
+    arrays: ScenarioArrays,
     placement_vec: np.ndarray,
-    max_rounds: int,
-    trace: Optional[List[Tuple[str, Hashable, Hashable]]],
+    max_rounds: int = 10,
+    trace: Optional[List[Tuple[int, int, int]]] = None,
     network=None,
 ) -> RefinementReport:
-    """The incremental kernel: neighbor-count deltas, O(1) fit checks."""
-    arrays = state.arrays()
-    num_nodes = len(arrays.node_keys)
-    nbr_ptr, nbr = arrays.vnf_chain_neighbors()
-    # Legacy fit check: load(target) + D_f^sum <= A_v + FIT_EPS.
-    capacity_slack = arrays.A_v + FIT_EPS
+    """The incremental kernel on bare columns: no state object needed.
 
-    initial_hops = total_inter_node_hops(state)
+    ``placement_vec`` (node index per VNF, mutated in place) is refined
+    with the same neighbor-count deltas and O(1) fit checks as
+    :func:`refine_placement`; ``trace`` receives ``(vnf_index,
+    source_node_index, target_node_index)`` tuples.  This is the entry
+    point the million-request pipeline calls directly on streamed
+    scenarios — including :data:`~repro.core.dtypes.LEAN_POLICY`
+    columns, where the capacity and demand operands are widened to
+    float64 before the ``FIT_EPS`` slack is applied (adding ``1e-9`` to
+    a float32 capacity would round it away entirely), so the move
+    sequence is byte-identical to the default policy whenever the lean
+    columns hold the same values.
+    """
+    if max_rounds < 1:
+        raise ValidationError(f"max_rounds must be >= 1, got {max_rounds!r}")
+    if arrays.chain_has_unknown:
+        raise ValidationError(
+            "refine_placement_columns requires chains over known VNFs"
+        )
+    if bool((placement_vec < 0).any()):
+        raise ValidationError(
+            "refine_placement_columns requires a full placement"
+        )
+    num_nodes = len(arrays.node_keys)
+    # Relocation targets are written back into placement_vec; a dtype
+    # too narrow for the node axis would wrap them silently.
+    ensure_index_capacity(
+        num_nodes, placement_vec.dtype, "relocate target nodes"
+    )
+    nbr_ptr, nbr = arrays.vnf_chain_neighbors()
+    # Legacy fit check: load(target) + D_f^sum <= A_v + FIT_EPS, with
+    # float64 accumulators (node_loads is float64 by construction; the
+    # capacity column is widened before the slack is added).
+    capacity_slack = arrays.A_v.astype(np.float64, copy=False) + FIT_EPS
+
+    initial_hops = int(arrays.hops_per_request(placement_vec).sum())
     current_hops = initial_hops
     moves = 0
     loads = arrays.node_loads(placement_vec)
@@ -196,7 +227,7 @@ def _refine_delta(
             neighbor_counts, scores = relocate_scores(
                 placement_vec,
                 nbr[lo:hi],
-                arrays.total_demand_f[fi],
+                float(arrays.total_demand_f[fi]),
                 loads,
                 capacity_slack,
                 num_nodes,
@@ -222,29 +253,48 @@ def _refine_delta(
                 if target is None:
                     continue
             placement_vec[fi] = target
-            state.placement[arrays.vnf_names[fi]] = arrays.node_keys[target]
             current_hops += int(neighbor_counts[source]) - int(scores[target])
             loads = arrays.node_loads(placement_vec)
             moves += 1
             improved_this_round = True
             if trace is not None:
-                trace.append(
-                    (
-                        arrays.vnf_names[fi],
-                        arrays.node_keys[source],
-                        arrays.node_keys[target],
-                    )
-                )
+                trace.append((fi, source, int(target)))
         if not improved_this_round:
             break
 
-    state.validate()
     return RefinementReport(
         moves_applied=moves,
         initial_hops=initial_hops,
         final_hops=current_hops,
         hops_saved=initial_hops - current_hops,
     )
+
+
+def _refine_delta(
+    state: DeploymentState,
+    placement_vec: np.ndarray,
+    max_rounds: int,
+    trace: Optional[List[Tuple[str, Hashable, Hashable]]],
+    network=None,
+) -> RefinementReport:
+    """Object-state wrapper around :func:`refine_placement_columns`."""
+    arrays = state.arrays()
+    idx_trace: List[Tuple[int, int, int]] = []
+    report = refine_placement_columns(
+        arrays, placement_vec, max_rounds, idx_trace, network
+    )
+    for fi, source, target in idx_trace:
+        state.placement[arrays.vnf_names[fi]] = arrays.node_keys[target]
+        if trace is not None:
+            trace.append(
+                (
+                    arrays.vnf_names[fi],
+                    arrays.node_keys[source],
+                    arrays.node_keys[target],
+                )
+            )
+    state.validate()
+    return report
 
 
 def _refine_scalar(
@@ -397,8 +447,11 @@ def swap_placement(
     multiplicity = np.zeros((num_vnfs, num_vnfs), dtype=np.float64)
     if len(owners):
         np.add.at(multiplicity, (owners, nbr), 1.0)
-    demands = arrays.total_demand_f
-    capacity_slack = arrays.A_v + FIT_EPS
+    # Widen lean columns before the slack/difference arithmetic: the
+    # fit comparison must see float64 on both sides regardless of the
+    # scenario's DtypePolicy (float32 + 1e-9 rounds the slack away).
+    demands = arrays.total_demand_f.astype(np.float64, copy=False)
+    capacity_slack = arrays.A_v.astype(np.float64, copy=False) + FIT_EPS
     loads = arrays.node_loads(placement_vec)
     link_loads = (
         network.link_loads(placement_vec) if network is not None else None

@@ -136,11 +136,7 @@ def run_trials(
     if shared is None:
         return _run_trials_plain(fn, tasks, jobs)
     from repro.core.arrays import ScenarioArrays
-    from repro.experiments.shm import (
-        SharedScenarioHandle,
-        publish_arrays,
-        unpublish_arrays,
-    )
+    from repro.experiments.shm import SharedScenarioHandle, published
 
     if isinstance(shared, SharedScenarioHandle):
         return _run_trials_shared(fn, tasks, jobs, shared)
@@ -149,11 +145,8 @@ def run_trials(
             f"shared must be a ScenarioArrays or SharedScenarioHandle, "
             f"got {type(shared).__name__}"
         )
-    handle = publish_arrays(shared)
-    try:
+    with published(shared) as handle:
         return _run_trials_shared(fn, tasks, jobs, handle)
-    finally:
-        unpublish_arrays(handle)
 
 
 def _run_trials_plain(

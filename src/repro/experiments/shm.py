@@ -44,8 +44,9 @@ from __future__ import annotations
 import os
 import tempfile
 import uuid
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 
 import numpy as np
 
@@ -56,6 +57,7 @@ __all__ = [
     "SharedScenarioHandle",
     "attach_arrays",
     "publish_arrays",
+    "published",
     "unpublish_arrays",
 ]
 
@@ -237,6 +239,29 @@ def publish_arrays(
         handle = SharedScenarioHandle("inline", None, inline, meta, token)
     _published[token] = (arrays, resource)
     return handle
+
+
+@contextmanager
+def published(
+    arrays: ScenarioArrays, backend: str = "auto"
+) -> Iterator[SharedScenarioHandle]:
+    """Publish ``arrays`` for the duration of a ``with`` block.
+
+    The exception-safe form of :func:`publish_arrays` /
+    :func:`unpublish_arrays`: the shm block or temp directory is
+    released on *every* exit path — normal return, a worker raising
+    through ``run_trials``, or the orchestrator dying mid-run — which
+    is what keeps ``/dev/shm`` from accumulating orphaned
+    ``repro_*`` segments::
+
+        with published(scenario.arrays) as handle:
+            run_trials(fn, tasks, jobs=4, shared=handle)
+    """
+    handle = publish_arrays(arrays, backend)
+    try:
+        yield handle
+    finally:
+        unpublish_arrays(handle)
 
 
 def attach_arrays(handle: SharedScenarioHandle) -> ScenarioArrays:

@@ -41,7 +41,9 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.arrays import ScenarioArrays, ScheduleArrays
 from repro.core.deltas import select_improving_record_breaker
+from repro.core.dtypes import ensure_index_capacity
 from repro.exceptions import ValidationError
 from repro.scheduling.base import (
     SchedulingAlgorithm,
@@ -179,6 +181,69 @@ def refine_assignment(
             current[idx], current[jdx] = target, worst
         moves += 1
     return current, moves
+
+
+def swap_refine_columns(
+    arrays: ScenarioArrays,
+    sched: ScheduleArrays,
+    max_rounds: int = 20,
+) -> Tuple[ScheduleArrays, int]:
+    """Move/swap makespan refinement straight on an index-form schedule.
+
+    Runs :func:`refine_assignment` once per VNF over the schedule's
+    rows, grouped with a stable sort so each VNF's users keep their
+    schedule order — the object path's enumeration order for schedules
+    built by :func:`~repro.scheduling.kernels.schedule_columns`.  The
+    effective rates are widened to float64 *before* any way sum
+    accumulates, so :data:`~repro.core.dtypes.LEAN_POLICY` columns
+    (int32 indices, float32 rates) produce the byte-identical move
+    sequence to the default policy whenever both hold the same values.
+
+    Returns a new :class:`ScheduleArrays` preserving row order and the
+    input's dtypes, plus the total number of accepted moves.  The
+    refinement can assign a request to *any* of a VNF's ``M_f`` slots —
+    not just slots already used — so the slot-index dtype must be able
+    to hold the largest ``M_f``, guarded here via
+    :func:`~repro.core.dtypes.ensure_index_capacity`.
+    """
+    if max_rounds < 1:
+        raise ValidationError(f"max_rounds must be >= 1, got {max_rounds!r}")
+    ensure_index_capacity(
+        int(arrays.M_f.max(initial=0)),
+        sched.k.dtype,
+        "swap-refined instance slots",
+    )
+    new_k = sched.k.copy()
+    moves = 0
+    if len(sched):
+        eff64 = arrays.eff_rate.astype(np.float64, copy=False)
+        order = np.argsort(sched.vnf, kind="stable")
+        vs = sched.vnf[order]
+        starts = np.flatnonzero(np.r_[True, vs[1:] != vs[:-1]])
+        bounds = np.r_[starts, len(vs)]
+        for gi in range(len(starts)):
+            lo, hi = int(bounds[gi]), int(bounds[gi + 1])
+            m = int(arrays.M_f[int(vs[lo])])
+            if m <= 1:
+                continue
+            rows = order[lo:hi]
+            refined, applied = refine_assignment(
+                eff64[sched.req[rows]],
+                sched.k[rows].tolist(),
+                m,
+                max_rounds,
+            )
+            new_k[rows] = np.asarray(refined, dtype=new_k.dtype)
+            moves += applied
+    inst = (arrays.instance_offset[sched.vnf] + new_k).astype(
+        sched.inst.dtype, copy=False
+    )
+    return (
+        ScheduleArrays(
+            req=sched.req.copy(), vnf=sched.vnf.copy(), k=new_k, inst=inst
+        ),
+        moves,
+    )
 
 
 class SwapRefinedScheduler(SchedulingAlgorithm):

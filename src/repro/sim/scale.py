@@ -14,23 +14,41 @@ packet columns:
   conditional law of a Poisson process given its count);
 * each hop level is one ``(instance, time)`` lexsort plus one
   segmented Lindley pass (:func:`~repro.sim.kernels.segmented_lindley`)
-  over *all* instances at that level simultaneously;
+  per instance shard at that level;
 * cross-pass backlog (the trace backend's departure frontier) is one
-  global ``searchsorted`` against the accumulated history, keyed by
+  ``searchsorted`` per shard against its accumulated history, keyed by
   ``instance * span + time``;
-* the measurement sweep is a single lexsort + segmented Lindley over
-  every recorded (packet, hop, round) visit, scattered back per packet
-  with ``bincount``.
+* the measurement sweep is a lexsort + segmented Lindley per shard over
+  every recorded (packet, hop, round) visit, merged back per packet in
+  shard order.
+
+Sharded execution (``jobs=N``)
+------------------------------
+The instance axis is partitioned once per run by a deterministic
+:class:`~repro.sim.shard.ScaleShardPlan` (independent of the worker
+count); each shard sweeps its instances with a private history and
+private RNG streams, either in-process or on worker processes that
+attach the scenario via :mod:`repro.experiments.shm` snapshots.  The
+merged output is **byte-identical at any** ``jobs`` for the same seed
+— see :mod:`repro.sim.shard` for the contract and docs/SCALE.md for
+the operational guide.
 
 RNG stream layout (documented, relied on by tests)
 --------------------------------------------------
-``SeedSequence(config.seed)`` spawns four roots, in order: arrival
-counts+times, causal-sweep services, delivery coins, measurement
-services.  Each root seeds ONE global generator consumed in
-deterministic (round, level, sorted-batch) order — unlike the trace
+``SeedSequence(config.seed)`` spawns ``2 + 2 * S`` children for a plan
+with ``S`` shards, in order:
+
+* child ``0`` — arrival counts + times (master process);
+* child ``1`` — delivery coins (master process);
+* child ``2 + s`` — causal-sweep services of shard ``s``;
+* child ``2 + S + s`` — measurement services of shard ``s``.
+
+Each child seeds ONE generator consumed in deterministic (round,
+level, sorted-sub-batch) order within its owner — unlike the trace
 backend's per-request/per-instance spawns, so the two backends agree
 in distribution only (the same contract the trace backend has with the
-event engine; see docs/SCALE.md and docs/SIM_BACKENDS.md).
+event engine; see docs/SCALE.md and docs/SIM_BACKENDS.md).  The layout
+depends on the shard *plan*, never on ``jobs``.
 """
 
 from __future__ import annotations
@@ -42,10 +60,16 @@ import numpy as np
 
 from repro.core.arrays import ScenarioArrays, ScheduleArrays
 from repro.exceptions import SimulationError
-from repro.sim.kernels import segmented_lindley, segmented_maximum_accumulate
+from repro.sim.shard import (
+    ScaleShardPlan,
+    _History,  # noqa: F401  (re-export; the frontier lived here pre-shard)
+    merge_shard_measurements,
+    open_shard_executor,
+    partition_by_shard,
+)
 from repro.sim.trace import MAX_FEEDBACK_ROUNDS
 
-__all__ = ["ScaleSimMetrics", "simulate_columns"]
+__all__ = ["ScaleShardPlan", "ScaleSimMetrics", "simulate_columns"]
 
 
 @dataclass
@@ -92,54 +116,14 @@ class ScaleSimMetrics:
         )
 
 
-class _History:
-    """Departure frontier of every causal pass, per instance.
-
-    Stores (instance, arrival, running-max departure) of all packets
-    already swept, sorted by ``instance * span + arrival`` so one
-    global ``searchsorted`` answers "latest backlog this arrival sees
-    at its instance" for a whole level at once.
-    """
-
-    def __init__(self, span: float) -> None:
-        self._span = span
-        self._keys = np.empty(0, dtype=np.float64)
-        self._inst = np.empty(0, dtype=np.int64)
-        self._dep_cummax = np.empty(0, dtype=np.float64)
-
-    def key_of(self, inst: np.ndarray, t: np.ndarray) -> np.ndarray:
-        return inst.astype(np.float64) * self._span + t
-
-    def waits(self, inst: np.ndarray, t: np.ndarray) -> np.ndarray:
-        """Residual backlog each (instance, time) arrival queues behind."""
-        if not self._keys.size:
-            return np.zeros(t.shape, dtype=np.float64)
-        idx = np.searchsorted(self._keys, self.key_of(inst, t), "right") - 1
-        safe = np.maximum(idx, 0)
-        valid = (idx >= 0) & (self._inst[safe] == inst)
-        return np.where(
-            valid, np.clip(self._dep_cummax[safe] - t, 0.0, None), 0.0
-        )
-
-    def record(
-        self, inst: np.ndarray, t: np.ndarray, dep: np.ndarray
-    ) -> None:
-        """Merge one swept batch (already (instance, time)-sorted)."""
-        keys = np.concatenate([self._keys, self.key_of(inst, t)])
-        all_inst = np.concatenate([self._inst, inst])
-        all_dep = np.concatenate([self._dep_cummax, dep])
-        order = np.argsort(keys, kind="stable")
-        self._keys = keys[order]
-        self._inst = all_inst[order]
-        self._dep_cummax = segmented_maximum_accumulate(
-            all_dep[order], self._inst
-        )
-
-
 def simulate_columns(
     arrays: ScenarioArrays,
     sched: ScheduleArrays,
     config: Optional[object] = None,
+    *,
+    jobs: Optional[int] = None,
+    plan: Optional[ScaleShardPlan] = None,
+    start_method: Optional[str] = None,
 ) -> ScaleSimMetrics:
     """Run one column-native trace simulation over a scheduled scenario.
 
@@ -148,6 +132,24 @@ def simulate_columns(
     packet times are always float64 regardless of the scenario's dtype
     policy (horizon arithmetic needs the precision — only the static
     columns shrink under the lean policy).
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes for the instance-sharded sweep.  ``None``/``1``
+        runs in-process, ``0`` auto-detects CPUs, ``N >= 2`` spreads the
+        shard plan over ``min(N, num_shards)`` workers.  The result is
+        byte-identical at any value (see :mod:`repro.sim.shard`).
+    plan:
+        Optional pre-built :class:`~repro.sim.shard.ScaleShardPlan`.
+        Passing a different plan changes the RNG stream layout — and
+        therefore the realization — while staying distributionally
+        equivalent; the default plan is a deterministic function of the
+        scenario + schedule.
+    start_method:
+        Optional multiprocessing start method (``"spawn"`` /
+        ``"fork"`` / ``"forkserver"``); ``None`` uses the platform
+        default.  Workers are spawn-safe under all of them.
     """
     from repro.sim.simulator import SimulationConfig
 
@@ -165,16 +167,26 @@ def simulate_columns(
         )
     chain_ptr = arrays.chain_ptr.astype(np.int64, copy=False)
     chain_len = np.diff(chain_ptr)
-    mu_inst = arrays.mu_inst.astype(np.float64, copy=False)
     P_r = arrays.P_r.astype(np.float64, copy=False)
     lam = arrays.lambda_r.astype(np.float64, copy=False)
 
+    shard_plan = (
+        plan if plan is not None else ScaleShardPlan.build(arrays, sched)
+    )
+    if shard_plan.shard_of_inst.shape[0] != num_instances:
+        raise SimulationError(
+            f"shard plan covers {shard_plan.shard_of_inst.shape[0]} "
+            f"instances but the scenario has {num_instances}"
+        )
+    num_shards = shard_plan.num_shards
+    shard_of_inst = shard_plan.shard_of_inst
+
     root = np.random.SeedSequence(int(cfg.seed))
-    arrival_seq, sweep_seq, coin_seq, measure_seq = root.spawn(4)
-    arrival_rng = np.random.default_rng(arrival_seq)
-    sweep_rng = np.random.default_rng(sweep_seq)
-    coin_rng = np.random.default_rng(coin_seq)
-    measure_rng = np.random.default_rng(measure_seq)
+    children = root.spawn(2 + 2 * num_shards)
+    arrival_rng = np.random.default_rng(children[0])
+    coin_rng = np.random.default_rng(children[1])
+    sweep_seqs = children[2 : 2 + num_shards]
+    measure_seqs = children[2 + num_shards :]
 
     # ------------------------------------------------------------------
     # Batched arrivals: Poisson counts, then uniform order statistics.
@@ -195,139 +207,117 @@ def simulate_columns(
     latency_sum = np.zeros(num_requests, dtype=np.float64)
     counted_pkts: List[np.ndarray] = []
 
-    history = _History(span=horizon * (1.0 + 1e-9) + 1.0)
-    # Measurement-pass records: every (packet, hop, round) visit.
-    m_inst: List[np.ndarray] = []
-    m_arr: List[np.ndarray] = []
-    m_pkt: List[np.ndarray] = []
-
-    # Alive packet state for the current round.
-    pkt = np.arange(generated, dtype=np.int64)
-    t = created.copy()
-    round_index = 0
-    while pkt.size:
-        if round_index >= MAX_FEEDBACK_ROUNDS:
-            raise SimulationError(
-                f"feedback did not drain after {MAX_FEEDBACK_ROUNDS} "
-                "rounds; check delivery probabilities and load"
-            )
-        req = pkt_req[pkt]
-        lens = chain_len[req]
-        max_len = int(lens.max())
-        finished_pkt: List[np.ndarray] = []
-        finished_t: List[np.ndarray] = []
-        for level in range(max_len):
-            active = lens > level
-            if not active.any():
-                break
-            a_pkt = pkt[active]
-            a_t = t[active]
-            a_req = req[active]
-            inst = slot_inst[chain_ptr[a_req] + level]
-            batch = np.lexsort((a_t, inst))
-            b_inst = inst[batch]
-            b_t = a_t[batch]
-            b_pkt = a_pkt[batch]
-            services = sweep_rng.standard_exponential(b_t.size) / mu_inst[
-                b_inst
-            ]
-            waits = history.waits(b_inst, b_t)
-            dep = segmented_lindley(b_t + waits, services, b_inst)
-            m_inst.append(b_inst)
-            m_arr.append(b_t)
-            m_pkt.append(b_pkt)
-            history.record(b_inst, b_t, dep)
-            # Scatter departures back to the round's packet state;
-            # completions at or past the horizon go no further.
-            dep_unsorted = np.empty_like(dep)
-            dep_unsorted[np.flatnonzero(active)[batch]] = dep
-            t = np.where(active, dep_unsorted, t)
-            done_here = active & (lens == level + 1)
-            alive = ~done_here & (~active | (t < horizon))
-            ends = done_here & (t < horizon)
-            if ends.any():
-                finished_pkt.append(pkt[ends])
-                finished_t.append(t[ends])
-            pkt, t, req, lens = (
-                pkt[alive], t[alive], req[alive], lens[alive]
-            )
-            active = lens > level  # unused; keep shapes consistent
-
-        # ----------------------------------------------------------
-        # Delivery coins for every chain that completed this round.
-        # ----------------------------------------------------------
-        if finished_pkt:
-            f_pkt = np.concatenate(finished_pkt)
-            f_t = np.concatenate(finished_t)
-        else:
-            f_pkt = np.empty(0, dtype=np.int64)
-            f_t = np.empty(0, dtype=np.float64)
-        if f_pkt.size:
-            f_req = pkt_req[f_pkt]
-            ok = coin_rng.random(f_pkt.size) < P_r[f_req]
-            measured = created[f_pkt] >= cfg.warmup
-            counted = ok & measured
-            delivered += np.bincount(
-                f_req[counted], minlength=num_requests
-            )
-            latency_chunk = f_pkt[counted]
-            counted_pkts.append(latency_chunk)
-            failed = ~ok
-            if round_index == 0:
-                retransmitted += np.bincount(
-                    f_req[failed & measured], minlength=num_requests
+    executor = open_shard_executor(
+        arrays,
+        shard_plan,
+        horizon,
+        sweep_seqs,
+        measure_seqs,
+        generated,
+        jobs=jobs,
+        start_method=start_method,
+    )
+    try:
+        # Alive packet state for the current round.
+        pkt = np.arange(generated, dtype=np.int64)
+        t = created.copy()
+        round_index = 0
+        while pkt.size:
+            if round_index >= MAX_FEEDBACK_ROUNDS:
+                raise SimulationError(
+                    f"feedback did not drain after {MAX_FEEDBACK_ROUNDS} "
+                    "rounds; check delivery probabilities and load"
                 )
-            retry_t = f_t[failed] + cfg.nack_delay
-            retry_pkt = f_pkt[failed]
-            keep = retry_t < horizon
-            retry_t, retry_pkt = retry_t[keep], retry_pkt[keep]
-            if cfg.nack_delay > 0.0 and retry_pkt.size:
-                extra_delay[retry_pkt] += cfg.nack_delay
-            pkt = np.concatenate([pkt, retry_pkt])
-            t = np.concatenate([t, retry_t])
-        round_index += 1
+            req = pkt_req[pkt]
+            lens = chain_len[req]
+            max_len = int(lens.max())
+            finished_pkt: List[np.ndarray] = []
+            finished_t: List[np.ndarray] = []
+            for level in range(max_len):
+                active = lens > level
+                if not active.any():
+                    break
+                a_pkt = pkt[active]
+                a_t = t[active]
+                a_req = req[active]
+                inst = slot_inst[chain_ptr[a_req] + level]
+                part, bounds = partition_by_shard(
+                    shard_of_inst[inst], num_shards
+                )
+                dep_part = executor.sweep(
+                    a_pkt[part], inst[part], a_t[part], bounds
+                )
+                dep_active = np.empty_like(dep_part)
+                dep_active[part] = dep_part
+                # Scatter departures back to the round's packet state;
+                # completions at or past the horizon go no further.
+                dep_unsorted = np.empty_like(t)
+                dep_unsorted[np.flatnonzero(active)] = dep_active
+                t = np.where(active, dep_unsorted, t)
+                done_here = active & (lens == level + 1)
+                alive = ~done_here & (~active | (t < horizon))
+                ends = done_here & (t < horizon)
+                if ends.any():
+                    finished_pkt.append(pkt[ends])
+                    finished_t.append(t[ends])
+                pkt, t, req, lens = (
+                    pkt[alive], t[alive], req[alive], lens[alive]
+                )
 
-    # ------------------------------------------------------------------
-    # Measurement sweep: one merged full-load pass per instance.
-    # ------------------------------------------------------------------
-    sojourn_sums = np.zeros(generated, dtype=np.float64)
-    inst_arrivals = np.zeros(num_instances, dtype=np.int64)
-    inst_departures = np.zeros(num_instances, dtype=np.int64)
-    inst_sojourn = np.zeros(num_instances, dtype=np.float64)
-    inst_busy = np.zeros(num_instances, dtype=np.float64)
-    if m_inst:
-        all_inst = np.concatenate(m_inst)
-        all_arr = np.concatenate(m_arr)
-        all_pkt = np.concatenate(m_pkt)
-        order = np.lexsort((all_arr, all_inst))
-        all_inst = all_inst[order]
-        all_arr = all_arr[order]
-        all_pkt = all_pkt[order]
-        services = measure_rng.standard_exponential(
-            all_arr.size
-        ) / mu_inst[all_inst]
-        dep = segmented_lindley(all_arr, services, all_inst)
-        sojourns = dep - all_arr
-        sojourn_sums = np.bincount(
-            all_pkt, weights=sojourns, minlength=generated
-        )
-        inst_arrivals = np.bincount(all_inst, minlength=num_instances)
-        done = dep < horizon
-        inst_departures = np.bincount(
-            all_inst[done], minlength=num_instances
-        )
-        inst_sojourn = np.bincount(
-            all_inst[done], weights=sojourns[done], minlength=num_instances
-        )
-        with np.errstate(invalid="ignore"):
-            inst_sojourn = np.where(
-                inst_departures > 0,
-                inst_sojourn / np.maximum(inst_departures, 1),
-                0.0,
-            )
-        overlap = np.clip(np.minimum(dep, horizon) - (dep - services), 0.0, None)
-        inst_busy = np.bincount(
-            all_inst, weights=overlap, minlength=num_instances
+            # ----------------------------------------------------------
+            # Delivery coins for every chain that completed this round.
+            # ----------------------------------------------------------
+            if finished_pkt:
+                f_pkt = np.concatenate(finished_pkt)
+                f_t = np.concatenate(finished_t)
+            else:
+                f_pkt = np.empty(0, dtype=np.int64)
+                f_t = np.empty(0, dtype=np.float64)
+            if f_pkt.size:
+                f_req = pkt_req[f_pkt]
+                ok = coin_rng.random(f_pkt.size) < P_r[f_req]
+                measured = created[f_pkt] >= cfg.warmup
+                counted = ok & measured
+                delivered += np.bincount(
+                    f_req[counted], minlength=num_requests
+                )
+                latency_chunk = f_pkt[counted]
+                counted_pkts.append(latency_chunk)
+                failed = ~ok
+                if round_index == 0:
+                    retransmitted += np.bincount(
+                        f_req[failed & measured], minlength=num_requests
+                    )
+                retry_t = f_t[failed] + cfg.nack_delay
+                retry_pkt = f_pkt[failed]
+                keep = retry_t < horizon
+                retry_t, retry_pkt = retry_t[keep], retry_pkt[keep]
+                if cfg.nack_delay > 0.0 and retry_pkt.size:
+                    extra_delay[retry_pkt] += cfg.nack_delay
+                pkt = np.concatenate([pkt, retry_pkt])
+                t = np.concatenate([t, retry_t])
+            round_index += 1
+
+        # --------------------------------------------------------------
+        # Measurement sweep: one merged full-load pass per instance,
+        # reduced across shards in ascending shard order.
+        # --------------------------------------------------------------
+        tagged = executor.measure()
+    finally:
+        executor.close()
+
+    (
+        sojourn_sums,
+        inst_arrivals,
+        inst_departures,
+        inst_sojourn_done,
+        inst_busy,
+    ) = merge_shard_measurements(tagged, generated, num_instances)
+    with np.errstate(invalid="ignore"):
+        inst_sojourn = np.where(
+            inst_departures > 0,
+            inst_sojourn_done / np.maximum(inst_departures, 1),
+            0.0,
         )
     utilization = (
         np.minimum(1.0, inst_busy / horizon)

@@ -10,6 +10,7 @@ ten derived seeds.
 
 from __future__ import annotations
 
+import dataclasses
 import sys
 from pathlib import Path
 
@@ -25,7 +26,14 @@ from _reference_impl import (  # noqa: E402
     reference_refine_placement,
 )
 from bench_core import build_scenario  # noqa: E402
-from repro.core.local_search import refine_placement  # noqa: E402
+from repro.core.arrays import ScheduleArrays  # noqa: E402
+from repro.core.local_search import (  # noqa: E402
+    refine_placement,
+    refine_placement_columns,
+)
+from repro.exceptions import ValidationError  # noqa: E402
+from repro.scheduling.kernels import schedule_columns  # noqa: E402
+from repro.scheduling.swap_refine import swap_refine_columns  # noqa: E402
 from repro.partition.rckk import (  # noqa: E402
     forward_ckk_partition,
     rckk_partition,
@@ -125,3 +133,112 @@ class TestSwapRefineParity:
         assert refine_assignment(
             rates, start, num_ways
         ) == reference_refine_assignment(rates, start, num_ways)
+
+
+#: Float columns subject to the dtype policy (quantized for parity).
+_FLOAT_COLS = (
+    "D_f", "mu_f", "total_demand_f", "mu_inst", "A_v",
+    "lambda_r", "P_r", "eff_rate",
+)
+#: Index columns subject to the dtype policy.
+_INT_COLS = (
+    "instance_offset", "inst_vnf", "chain_req", "chain_vnf", "chain_ptr",
+)
+
+
+def quantized_twins(arrays):
+    """Default- and lean-policy views of the same column *values*.
+
+    Float values are quantized through float32 first, so the lean twin
+    (float32 storage) and the default twin (float64 storage) represent
+    bit-for-bit identical numbers — the precondition for byte-identical
+    refinement, since widening float32 to float64 is exact.
+    """
+    quantized = {
+        c: getattr(arrays, c).astype(np.float32) for c in _FLOAT_COLS
+    }
+    default = dataclasses.replace(
+        arrays,
+        **{c: quantized[c].astype(np.float64) for c in _FLOAT_COLS},
+    )
+    lean = dataclasses.replace(
+        arrays,
+        **quantized,
+        **{c: getattr(arrays, c).astype(np.int32) for c in _INT_COLS},
+    )
+    return default, lean
+
+
+class TestLeanRefineParity:
+    """LEAN int32/float32 columns refine byte-identically to DEFAULT."""
+
+    def test_refine_placement_columns_lean_parity(self, seed):
+        solution, _, _ = build_scenario(60, 15, 8, seed=seed)
+        state = solution.state
+        arrays = state.arrays()
+        vec = arrays.placement_vector(state.placement)
+        default, lean = quantized_twins(arrays)
+
+        vec_d = vec.copy()
+        vec_l = vec.astype(np.int32)
+        trace_d, trace_l = [], []
+        report_d = refine_placement_columns(default, vec_d, trace=trace_d)
+        report_l = refine_placement_columns(lean, vec_l, trace=trace_l)
+
+        assert trace_d == trace_l
+        assert report_d == report_l
+        np.testing.assert_array_equal(vec_d, vec_l.astype(np.int64))
+
+    def test_swap_refine_columns_lean_parity(self, seed):
+        solution, _, _ = build_scenario(60, 15, 8, seed=seed)
+        arrays = solution.state.arrays()
+        default, lean = quantized_twins(arrays)
+        sched = schedule_columns(default)
+        sched_lean = ScheduleArrays(
+            req=sched.req.astype(np.int32),
+            vnf=sched.vnf.astype(np.int32),
+            k=sched.k.astype(np.int32),
+            inst=sched.inst.astype(np.int32),
+        )
+
+        refined_d, moves_d = swap_refine_columns(default, sched)
+        refined_l, moves_l = swap_refine_columns(lean, sched_lean)
+
+        assert moves_d == moves_l
+        np.testing.assert_array_equal(
+            refined_d.k, refined_l.k.astype(np.int64)
+        )
+        np.testing.assert_array_equal(
+            refined_d.inst, refined_l.inst.astype(np.int64)
+        )
+        assert refined_l.k.dtype == np.int32
+        assert refined_l.inst.dtype == np.int32
+
+    def test_swap_refine_overflow_guard(self, seed):
+        # Refinement may pick ANY of a VNF's M_f slots, so a slot-index
+        # dtype too narrow for max(M_f) must fail loudly up front
+        # instead of wrapping int8 slot indices silently.
+        solution, _, _ = build_scenario(30, 10, 5, seed=seed)
+        arrays = solution.state.arrays()
+        sched = schedule_columns(arrays)
+        tiny = ScheduleArrays(
+            req=sched.req,
+            vnf=sched.vnf,
+            k=sched.k.astype(np.int8),
+            inst=sched.inst,
+        )
+        swap_refine_columns(arrays, tiny)  # max(M_f) fits int8: fine
+        oversubscribed = dataclasses.replace(
+            arrays, M_f=arrays.M_f + np.int64(200)
+        )
+        with pytest.raises(ValidationError):
+            swap_refine_columns(oversubscribed, tiny)
+
+    def test_refine_placement_overflow_guard(self, seed):
+        solution, _, _ = build_scenario(30, 150, 5, seed=seed)
+        arrays = solution.state.arrays()
+        # A full placement on node 0 is representable in int8, but
+        # relocation targets range over all 150 nodes — reject.
+        vec8 = np.zeros(len(arrays.vnf_names), dtype=np.int8)
+        with pytest.raises(ValidationError):
+            refine_placement_columns(arrays, vec8)

@@ -13,6 +13,7 @@ from repro.experiments.montecarlo import run_trials
 from repro.experiments.shm import (
     attach_arrays,
     publish_arrays,
+    published,
     unpublish_arrays,
 )
 from repro.workload.generator import WorkloadGenerator
@@ -115,6 +116,36 @@ class TestPublishAttach:
         handle = publish_arrays(arrays, backend="inline")
         unpublish_arrays(handle)
         unpublish_arrays(handle)
+
+
+class TestPublishedContextManager:
+    def test_releases_on_normal_exit(self, arrays):
+        with published(arrays) as handle:
+            assert attach_arrays(handle) is arrays
+        assert handle.token not in shm_mod._published
+
+    def test_releases_on_exception(self, arrays):
+        # The leak regression: a trial raising through run_trials must
+        # not strand the published segment (orphaned /dev/shm repro_*
+        # blocks accumulate per crashed experiment otherwise).
+        with pytest.raises(RuntimeError, match="trial exploded"):
+            with published(arrays) as handle:
+                raise RuntimeError("trial exploded")
+        assert handle.token not in shm_mod._published
+        if handle.backend == "shm":
+            from multiprocessing import shared_memory
+
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=handle.location)
+
+    def test_releases_mmap_directory_on_exception(self, arrays, tmp_path):
+        import os
+
+        with pytest.raises(ValueError, match="boom"):
+            with published(arrays, backend="mmap") as handle:
+                assert os.path.isdir(handle.location)
+                raise ValueError("boom")
+        assert not os.path.exists(handle.location)
 
 
 class TestSharedTrials:
